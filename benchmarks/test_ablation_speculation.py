@@ -1,0 +1,76 @@
+"""Ablation: speculative integrity verification (Table I assumption).
+
+The paper assumes speculative verification (PoisonIvy [33]) so PM fills
+never wait for counter/OTP/MAC checks.  This ablation turns that off: a
+memory fill must verify before use, adding AES + MAC latency plus the
+counter access to every PM read.  The result shows how load-bearing the
+assumption is for read-heavy workloads — and that it affects every scheme
+equally (it is orthogonal to the SecPB design point).
+"""
+
+import dataclasses
+
+from repro.analysis.report import format_table
+from repro.core.schemes import get_scheme
+from repro.core.simulator import SecurePersistencySimulator
+from repro.sim.config import SystemConfig
+from repro.sim.stats import geometric_mean
+from repro.workloads.spec import build_trace
+
+from conftest import SWEEP_NUM_OPS
+
+BENCHMARKS = ["mcf", "bwaves", "milc", "gamess", "leslie3d"]
+WARMUP = 0.3
+
+
+def _config(speculative: bool) -> SystemConfig:
+    base = SystemConfig()
+    return dataclasses.replace(
+        base,
+        security=dataclasses.replace(
+            base.security, speculative_verification=speculative
+        ),
+    )
+
+
+def run_ablation():
+    results = {}
+    bbb = SecurePersistencySimulator(scheme=None)
+    traces = {name: build_trace(name, SWEEP_NUM_OPS) for name in BENCHMARKS}
+    baselines = {n: bbb.run(t, WARMUP) for n, t in traces.items()}
+    for scheme_name in ("cobcm", "cm"):
+        for speculative in (True, False):
+            sim = SecurePersistencySimulator(
+                config=_config(speculative), scheme=get_scheme(scheme_name)
+            )
+            slowdowns = [
+                sim.run(trace, WARMUP).slowdown_vs(baselines[name])
+                for name, trace in traces.items()
+            ]
+            key = scheme_name + ("" if speculative else "_nonspec")
+            results[key] = (geometric_mean(slowdowns) - 1.0) * 100.0
+    return results
+
+
+def test_ablation_speculative_verification(benchmark, save_result):
+    results = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    rows = [
+        [name, f"{value:.1f}%"]
+        for name, value in sorted(results.items())
+    ]
+    rendered = format_table(
+        ["configuration", "overhead vs BBB"],
+        rows,
+        title="ablation: speculative integrity verification on PM fills",
+    )
+    save_result("ablation_speculation", rendered)
+    print("\n" + rendered)
+
+    # Turning speculation off must cost something on read-heavy suites...
+    assert results["cobcm_nonspec"] > results["cobcm"]
+    assert results["cm_nonspec"] > results["cm"]
+    # ...and the *added* cost is scheme-independent (orthogonal knob).
+    added_cobcm = results["cobcm_nonspec"] - results["cobcm"]
+    added_cm = results["cm_nonspec"] - results["cm"]
+    assert added_cobcm > 1.0
+    assert 0.3 < added_cobcm / max(added_cm, 1e-9) < 3.0

@@ -1,0 +1,88 @@
+"""Ablations: SecPB watermark threshold and store-buffer depth.
+
+DESIGN.md calls out two structural choices the paper fixes without
+sweeping: the 75% drain (high-watermark) threshold and the store-buffer
+depth that absorbs eager-metadata latency bursts.  These ablations sweep
+both under the CM model.
+"""
+
+import dataclasses
+
+from repro.analysis.report import format_table
+from repro.core.controller import TimingCalibration
+from repro.core.schemes import get_scheme
+from repro.core.simulator import SecurePersistencySimulator
+from repro.sim.config import SystemConfig
+from repro.sim.stats import geometric_mean
+from repro.workloads.spec import build_trace
+
+from conftest import SWEEP_NUM_OPS
+
+BENCHMARKS = ["gamess", "povray", "hmmer", "gcc"]
+WARMUP = 0.3
+
+
+def _overhead(config: SystemConfig, calibration=None) -> float:
+    bbb = SecurePersistencySimulator(config=config, scheme=None, calibration=calibration)
+    cm = SecurePersistencySimulator(
+        config=config, scheme=get_scheme("cm"), calibration=calibration
+    )
+    slowdowns = []
+    for name in BENCHMARKS:
+        trace = build_trace(name, SWEEP_NUM_OPS)
+        base = bbb.run(trace, WARMUP)
+        slowdowns.append(cm.run(trace, WARMUP).slowdown_vs(base))
+    return (geometric_mean(slowdowns) - 1.0) * 100.0
+
+
+def run_watermark_sweep():
+    results = {}
+    for high, low in ((0.5, 0.25), (0.625, 0.3), (0.75, 0.375), (0.9, 0.45)):
+        base = SystemConfig()
+        config = dataclasses.replace(
+            base,
+            secpb=dataclasses.replace(
+                base.secpb, high_watermark=high, low_watermark=low
+            ),
+        )
+        results[high] = _overhead(config)
+    return results
+
+
+def run_store_buffer_sweep():
+    return {
+        depth: _overhead(dataclasses.replace(SystemConfig(), store_buffer_entries=depth))
+        for depth in (8, 16, 32, 64, 128)
+    }
+
+
+def test_ablation_watermark_threshold(benchmark, save_result):
+    results = benchmark.pedantic(run_watermark_sweep, rounds=1, iterations=1)
+    rows = [[f"{int(h * 100)}%", f"{v:.1f}%"] for h, v in sorted(results.items())]
+    rendered = format_table(
+        ["high watermark", "CM overhead"],
+        rows,
+        title="ablation: drain threshold (paper default 75%)",
+    )
+    save_result("ablation_watermark", rendered)
+    print("\n" + rendered)
+    # The threshold is a second-order knob: within a sane range it should
+    # move CM overhead by far less than the scheme choice does.
+    values = list(results.values())
+    assert max(values) - min(values) < 0.5 * min(values) + 20
+
+
+def test_ablation_store_buffer_depth(benchmark, save_result):
+    results = benchmark.pedantic(run_store_buffer_sweep, rounds=1, iterations=1)
+    rows = [[d, f"{v:.1f}%"] for d, v in sorted(results.items())]
+    rendered = format_table(
+        ["store-buffer entries", "CM overhead"],
+        rows,
+        title="ablation: store-buffer depth (paper-era default 32)",
+    )
+    save_result("ablation_store_buffer", rendered)
+    print("\n" + rendered)
+    # Deeper buffers absorb more eager-metadata bursts: overhead must be
+    # non-increasing in depth (within noise).
+    ordered = [results[d] for d in sorted(results)]
+    assert ordered[0] >= ordered[-1] - 1.0

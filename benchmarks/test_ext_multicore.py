@@ -1,0 +1,68 @@
+"""Extension: multi-core SecPB scaling (the paper's Sec. IV-C, timed).
+
+The paper describes but never times the multi-core protocol.  This
+extension measures core-count scaling per scheme with shared MC engines
+and migration/flush traffic, confirming two predictions:
+
+* eager schemes contend on the shared single-in-flight BMT engine, so
+  their per-core throughput degrades with core count;
+* lazy schemes (COBCM) scale nearly flat.
+"""
+
+from repro.analysis.report import format_table
+from repro.core.multicore import MultiCoreSecPBSimulator, sharing_traces
+from repro.core.schemes import get_scheme
+
+from conftest import SWEEP_NUM_OPS
+
+CORE_COUNTS = (1, 2, 4, 8)
+NUM_OPS = max(2000, SWEEP_NUM_OPS // 5)
+
+
+def run_scaling():
+    results = {}
+    for scheme_name in ("cobcm", "bcm", "cm"):
+        scheme = get_scheme(scheme_name)
+        per_cores = {}
+        for cores in CORE_COUNTS:
+            traces = sharing_traces(
+                cores, NUM_OPS, share_fraction=0.15, seed=3
+            )
+            sim = MultiCoreSecPBSimulator(cores, scheme)
+            run = sim.run(traces)
+            per_cores[cores] = run
+        results[scheme_name] = per_cores
+    return results
+
+
+def test_multicore_scaling(benchmark, save_result):
+    results = benchmark.pedantic(run_scaling, rounds=1, iterations=1)
+
+    rows = []
+    for scheme_name, per_cores in results.items():
+        base = per_cores[1].cycles
+        for cores in CORE_COUNTS:
+            run = per_cores[cores]
+            rows.append(
+                [
+                    scheme_name,
+                    cores,
+                    f"{run.cycles:.0f}",
+                    f"{run.cycles / base:.2f}x",
+                    int(run.stats.get("coherence.migrations", 0)),
+                ]
+            )
+    rendered = format_table(
+        ["scheme", "cores", "makespan (cycles)", "vs 1 core", "migrations"],
+        rows,
+        title="extension: multi-core scaling (same ops per core)",
+    )
+    save_result("ext_multicore", rendered)
+    print("\n" + rendered)
+
+    # COBCM scales flatter than CM (shared BMT engine contention).
+    cm_scaling = results["cm"][8].cycles / results["cm"][1].cycles
+    cobcm_scaling = results["cobcm"][8].cycles / results["cobcm"][1].cycles
+    assert cobcm_scaling < cm_scaling
+    # Sharing produces coherence traffic at every multi-core point.
+    assert results["cm"][4].stats.get("coherence.migrations", 0) > 0

@@ -1,0 +1,68 @@
+"""Extension: persistent hierarchy vs flush-based persistency (Sec. II-C).
+
+Quantifies the paper's motivation end to end: strict persistency on a
+traditional hierarchy (clwb+sfence per store) is crippling, epoch
+persistency recovers some of it, and the SecPB persistent hierarchy makes
+*strict* persistency essentially free — even with full security.
+"""
+
+from repro.analysis.report import format_table
+from repro.baselines.bbb import make_bbb_simulator
+from repro.core.schemes import get_scheme
+from repro.core.simulator import SecurePersistencySimulator
+from repro.persistency.flush import FlushBasedSimulator, PersistencyModel
+from repro.sim.stats import geometric_mean
+from repro.workloads.spec import build_trace
+
+from conftest import SWEEP_NUM_OPS
+
+BENCHMARKS = ["gamess", "povray", "hmmer", "gcc", "leslie3d", "mcf"]
+WARMUP = 0.3
+
+
+def run_comparison():
+    traces = {name: build_trace(name, SWEEP_NUM_OPS) for name in BENCHMARKS}
+    bbb = make_bbb_simulator()
+    baselines = {n: bbb.run(t, WARMUP) for n, t in traces.items()}
+
+    configs = {
+        "flush_strict": FlushBasedSimulator(PersistencyModel.STRICT),
+        "flush_epoch32": FlushBasedSimulator(PersistencyModel.EPOCH, epoch_stores=32),
+        "flush_strict_secure": FlushBasedSimulator(PersistencyModel.STRICT, secure=True),
+        "flush_epoch32_secure": FlushBasedSimulator(
+            PersistencyModel.EPOCH, epoch_stores=32, secure=True
+        ),
+        "secpb_cobcm": SecurePersistencySimulator(scheme=get_scheme("cobcm")),
+        "secpb_cm": SecurePersistencySimulator(scheme=get_scheme("cm")),
+    }
+    overheads = {}
+    for label, sim in configs.items():
+        slowdowns = [
+            sim.run(trace, WARMUP).slowdown_vs(baselines[name])
+            for name, trace in traces.items()
+        ]
+        overheads[label] = (geometric_mean(slowdowns) - 1.0) * 100.0
+    return overheads
+
+
+def test_persistency_model_comparison(benchmark, save_result):
+    overheads = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+
+    rows = [[label, f"{value:.1f}%"] for label, value in overheads.items()]
+    rendered = format_table(
+        ["configuration", "overhead vs BBB"],
+        rows,
+        title="extension: flush-based persistency vs SecPB persistent hierarchy",
+    )
+    save_result("ext_persistency", rendered)
+    print("\n" + rendered)
+
+    # Epoch beats strict on traditional hierarchies.
+    assert overheads["flush_epoch32"] < overheads["flush_strict"]
+    assert overheads["flush_epoch32_secure"] < overheads["flush_strict_secure"]
+    # Security makes flush-based persistency dramatically worse.
+    assert overheads["flush_strict_secure"] > overheads["flush_strict"]
+    # The paper's motivation: SecPB's strict persistency beats even epoch
+    # persistency with flush-based security.
+    assert overheads["secpb_cobcm"] < overheads["flush_epoch32_secure"]
+    assert overheads["secpb_cm"] < overheads["flush_strict_secure"]

@@ -1,0 +1,31 @@
+"""Benchmark: Fig. 6 — per-benchmark execution time normalized to BBB.
+
+The paper's per-benchmark anchors: gamess is the eager schemes' worst case
+(CM ~18.2x), povray is heavily MAC-bound under NoGap (M recovers 51.6%),
+and load-dominated benchmarks (mcf, omnetpp) sit near the baseline.
+"""
+
+from repro.analysis.experiments import run_fig6
+
+from conftest import BENCH_NUM_OPS
+
+
+def test_fig6_per_benchmark_series(benchmark, save_result):
+    result = benchmark.pedantic(
+        run_fig6, kwargs=dict(num_ops=BENCH_NUM_OPS), rounds=1, iterations=1
+    )
+    save_result("fig6", result.render())
+    print("\n" + result.render())
+
+    per = result.per_benchmark_pct
+    # gamess: the eager worst case (paper: 18.2x under CM).
+    assert per["gamess"]["cm"] > 600.0
+    # povray: delaying the MAC (NoGap -> M) recovers a large fraction
+    # (paper: 51.6% execution-time reduction).
+    povray_ratio = (100 + per["povray"]["nogap"]) / (100 + per["povray"]["m"])
+    assert povray_ratio > 1.5
+    # Load-dominated benchmarks barely notice security.
+    assert per["mcf"]["cm"] < 80.0
+    assert per["omnetpp"]["cm"] < 80.0
+    # COBCM is near-baseline everywhere.
+    assert all(v < 30.0 for v in (row["cobcm"] for row in per.values()))

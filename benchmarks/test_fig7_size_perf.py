@@ -1,0 +1,30 @@
+"""Benchmark: Fig. 7 — execution time vs SecPB size under the CM model.
+
+Paper anchors: 112.3% overhead at 8 entries, 24% at 512, with diminishing
+returns from 32-64 entries on.
+"""
+
+from repro.analysis.experiments import run_fig7
+
+from conftest import SWEEP_NUM_OPS
+
+
+def test_fig7_secpb_size_sweep(benchmark, save_result):
+    result = benchmark.pedantic(
+        run_fig7, kwargs=dict(num_ops=SWEEP_NUM_OPS), rounds=1, iterations=1
+    )
+    save_result("fig7", result.render())
+    print("\n" + result.render())
+
+    overhead = result.overhead_pct
+    sizes = sorted(overhead)
+    # Monotone improvement with capacity.
+    values = [overhead[s] for s in sizes]
+    assert all(a >= b - 2.0 for a, b in zip(values, values[1:]))
+    # Paper anchors: ~112% at 8 entries, large reduction by 512.
+    assert 60.0 < overhead[8] < 180.0
+    assert overhead[512] < 0.65 * overhead[8]
+    # Diminishing returns: most of the gain arrives by 64 entries.
+    gain_total = overhead[8] - overhead[512]
+    gain_by_64 = overhead[8] - overhead[64]
+    assert gain_by_64 > 0.5 * gain_total

@@ -1,0 +1,38 @@
+"""Benchmark: Fig. 8 — total BMT root updates normalized to sec_wt.
+
+sec_wt (secure write-through) updates the root once per store; the SecPB
+coalesces value-independent updates to once per entry residency.  The
+paper reports 12.7% of sec_wt at 8 entries, 1.8% at 512.
+"""
+
+from repro.analysis.experiments import run_fig7, run_fig8
+
+from conftest import SWEEP_NUM_OPS
+
+
+def test_fig8_bmt_update_reduction(benchmark, save_result):
+    result = benchmark.pedantic(
+        run_fig8, kwargs=dict(num_ops=SWEEP_NUM_OPS), rounds=1, iterations=1
+    )
+    rendered = result.render()
+
+    # The size series comes from the same sweep as Fig. 7.
+    sweep = run_fig7(sizes=(8, 32, 512), num_ops=SWEEP_NUM_OPS)
+    size_lines = [
+        "",
+        "BMT root updates vs sec_wt across SecPB sizes (CM model):",
+    ] + [
+        f"  {size:>4} entries: {sweep.bmt_updates_vs_secwt_pct[size]:.1f}%"
+        for size in sorted(sweep.bmt_updates_vs_secwt_pct)
+    ]
+    rendered += "\n" + "\n".join(size_lines)
+    save_result("fig8", rendered)
+    print("\n" + rendered)
+
+    # Every scheme coalesces far below write-through.
+    for scheme, pct in result.updates_vs_secwt_pct.items():
+        assert pct < 60.0, scheme
+    # Larger SecPBs coalesce more (the paper's 12.7% -> 1.8% trend).
+    series = sweep.bmt_updates_vs_secwt_pct
+    assert series[8] > series[32] > series[512]
+    assert series[512] < 0.75 * series[8]

@@ -1,0 +1,26 @@
+"""Benchmark: Fig. 9 — BMT height study (DBMF / SBMF with SecPB and SP).
+
+Paper values: sp_dbmf 88.9%, sp_sbmf 243% (3.43x), cm_dbmf 33.3%,
+cm_sbmf 56.6%; the highlight is cm_sbmf outperforming sp_dbmf.
+"""
+
+from repro.analysis.experiments import run_fig9
+
+from conftest import SWEEP_NUM_OPS
+
+
+def test_fig9_bmf_height_study(benchmark, save_result):
+    result = benchmark.pedantic(
+        run_fig9, kwargs=dict(num_ops=SWEEP_NUM_OPS), rounds=1, iterations=1
+    )
+    save_result("fig9", result.render())
+    print("\n" + result.render())
+
+    mean = result.mean_overhead_pct
+    # Height reduction helps CM monotonically: dbmf (h=2) < sbmf (h=5) < full.
+    assert mean["cm_dbmf"] < mean["cm_sbmf"] < mean["cm"]
+    # SP orders the same way across forest variants.
+    assert mean["sp_dbmf"] < mean["sp_sbmf"]
+    # The paper's highlight: SecPB+SBMF beats even SP+DBMF.
+    assert mean["cm_sbmf"] < mean["sp_dbmf"]
+    assert mean["cm_dbmf"] < mean["sp_dbmf"]

@@ -1,0 +1,33 @@
+"""Benchmark: Table IV — mean slowdown of all six schemes vs BBB.
+
+Paper values (32-entry SecPB): COBCM 1.3%, OBCM 1.5%, BCM 14.8%, CM 71.3%,
+M 73.8%, NoGap 118.4%.
+"""
+
+from repro.analysis.experiments import run_table4
+
+from conftest import BENCH_NUM_OPS
+
+
+def test_table4_scheme_overheads(benchmark, save_result):
+    result = benchmark.pedantic(
+        run_table4, kwargs=dict(num_ops=BENCH_NUM_OPS), rounds=1, iterations=1
+    )
+    save_result("table4", result.render())
+    print("\n" + result.render())
+
+    mean = result.mean_overhead_pct
+    # Paper shape: the spectrum orders strictly by eagerness...
+    assert mean["cobcm"] <= mean["obcm"] + 1.0
+    assert mean["obcm"] <= mean["bcm"]
+    assert mean["bcm"] <= mean["cm"]
+    assert mean["cm"] <= mean["m"]
+    assert mean["m"] <= mean["nogap"]
+    # ...lazy schemes are near-free...
+    assert mean["cobcm"] < 10.0
+    assert mean["obcm"] < 10.0
+    # ...BCM -> CM is the big jump (BMT root update exposed)...
+    assert mean["cm"] > 3.0 * mean["bcm"]
+    # ...and the magnitudes land in the paper's bands.
+    assert 35.0 < mean["cm"] < 140.0
+    assert 60.0 < mean["nogap"] < 260.0

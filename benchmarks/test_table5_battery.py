@@ -1,0 +1,32 @@
+"""Benchmark: Table V — energy-source size for all schemes vs s_eADR/BBB/eADR.
+
+Paper values (SuperCap mm^3): COBCM 4.89, OBCM 4.82, BCM 4.72, CM 0.73,
+M 0.67, NoGap 0.28, s_eADR 3706, BBB 0.07, eADR 149.32.
+"""
+
+import pytest
+
+from repro.analysis.experiments import run_table5
+
+
+def test_table5_battery_estimates(benchmark, save_result):
+    table = benchmark.pedantic(run_table5, rounds=3, iterations=1)
+    save_result("table5", table.render())
+    print("\n" + table.render())
+
+    by_label = table.by_label()
+    # Within-SecPB ordering: lazier scheme -> bigger battery.
+    order = ["nogap", "m", "cm", "bcm", "obcm", "cobcm"]
+    volumes = [by_label[name].supercap_mm3 for name in order]
+    assert volumes == sorted(volumes)
+    # Headline paper numbers.
+    assert by_label["cobcm"].supercap_mm3 == pytest.approx(4.89, rel=0.05)
+    assert by_label["cm"].supercap_mm3 == pytest.approx(0.73, rel=0.05)
+    assert by_label["eadr"].supercap_mm3 == pytest.approx(149.32, rel=0.001)
+    assert by_label["bbb"].supercap_mm3 == pytest.approx(0.07, abs=0.01)
+    # The BCM -> CM cliff (paper: ~6.5x SuperCap).
+    cliff = by_label["bcm"].supercap_mm3 / by_label["cm"].supercap_mm3
+    assert 4.0 < cliff < 9.0
+    # s_eADR dwarfs every SecPB configuration (paper: 753x COBCM).
+    ratio = by_label["s_eadr"].supercap_mm3 / by_label["cobcm"].supercap_mm3
+    assert ratio > 400

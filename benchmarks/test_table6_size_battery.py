@@ -1,0 +1,28 @@
+"""Benchmark: Table VI — battery capacity vs SecPB size (COBCM, NoGap).
+
+Paper values (SuperCap mm^3), COBCM: 1.33 / 2.52 / 4.89 / 9.63 / 19.12 /
+38.11 / 76.10 for 8..512 entries; NoGap: 0.08 .. 4.35.
+"""
+
+import pytest
+
+from repro.analysis.experiments import run_table6
+from repro.analysis.paper_values import TABLE6_COBCM_SUPERCAP_MM3
+
+
+def test_table6_size_sweep(benchmark, save_result):
+    table = benchmark.pedantic(run_table6, rounds=3, iterations=1)
+    save_result("table6", table.render())
+    print("\n" + table.render())
+
+    sizes = sorted(table.cobcm)
+    # Monotone growth for both schemes.
+    for series in (table.cobcm, table.nogap):
+        volumes = [series[s].supercap_mm3 for s in sizes]
+        assert volumes == sorted(volumes)
+    # COBCM needs far more than NoGap at every size (late BMT work).
+    for size in sizes:
+        assert table.cobcm[size].supercap_mm3 > 5 * table.nogap[size].supercap_mm3
+    # COBCM column matches the paper row by row.
+    for size, paper in TABLE6_COBCM_SUPERCAP_MM3.items():
+        assert table.cobcm[size].supercap_mm3 == pytest.approx(paper, rel=0.06)

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Failure-injection campaign: crash everywhere, recover everywhere.
+
+The strongest statement a crash-consistent system can make is statistical:
+inject power failures at *random* points of random workloads, across every
+scheme, and verify that recovery succeeds and yields exactly the
+acknowledged state every single time — while the naive gapped hierarchy
+fails under the same campaign.
+
+Run:  python examples/crash_campaign.py [trials]
+"""
+
+from __future__ import annotations
+
+import random
+import sys
+
+from repro import GappedPersistentSystem, SecurePersistentSystem, get_scheme
+from repro.core.schemes import SPECTRUM_ORDER
+
+
+def run_one_trial(rng: random.Random, scheme_name: str) -> bool:
+    """One random workload + crash point; True when recovery is perfect."""
+    system = SecurePersistentSystem(get_scheme(scheme_name))
+    expected = {}
+    crash_after = rng.randrange(5, 160)
+    for i in range(crash_after):
+        block = rng.randrange(60)
+        payload = bytes([rng.randrange(256)]) * 64
+        system.store(block, payload)
+        expected[block] = payload
+    report = system.crash()
+    if not report.invariants_ok:
+        return False
+    recovery = system.recover()
+    if not recovery.ok:
+        return False
+    return all(
+        system.memory.recover_block(block).plaintext == payload
+        for block, payload in expected.items()
+    )
+
+
+def run_gapped_trial(rng: random.Random) -> bool:
+    """Same campaign against the recoverability gap; True when it fails."""
+    gapped = GappedPersistentSystem()
+    for i in range(rng.randrange(5, 60)):
+        gapped.store(rng.randrange(30), bytes([i % 256]) * 64)
+    gapped.crash()
+    return not gapped.recover().ok
+
+
+def main() -> None:
+    trials = int(sys.argv[1]) if len(sys.argv) > 1 else 25
+    rng = random.Random(1302)
+
+    print(f"crash campaign: {trials} random crashes per scheme\n")
+    for scheme_name in SPECTRUM_ORDER:
+        survived = sum(run_one_trial(rng, scheme_name) for _ in range(trials))
+        marker = "OK " if survived == trials else "FAIL"
+        print(f"  {marker} {scheme_name:<7} {survived}/{trials} perfect recoveries")
+        assert survived == trials, f"{scheme_name} lost data!"
+
+    gap_failures = sum(run_gapped_trial(rng) for _ in range(trials))
+    print(
+        f"\n  naive gapped hierarchy failed recovery in "
+        f"{gap_failures}/{trials} trials (expected: all)"
+    )
+    assert gap_failures == trials
+    print("\ncampaign complete: SecPB never lost data; the gap always did.")
+
+
+if __name__ == "__main__":
+    main()

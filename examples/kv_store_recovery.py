@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""A crash-consistent key-value store on secure persistent memory.
+
+The kind of application the paper's introduction motivates: a persistent
+KV store whose puts become durable the instant they reach the SecPB — no
+cache-line flushes, no fences — while encryption and integrity protection
+ride along invisibly.
+
+The store maps fixed-size string keys to values, one 64-byte block per
+record, with a block-0 index.  We run a workload, yank the power at a
+random point, and verify that exactly the acknowledged puts are
+recoverable and verified.
+
+Run:  python examples/kv_store_recovery.py
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional
+
+from repro import SecurePersistentSystem, get_scheme
+
+KEY_BYTES = 16
+VALUE_BYTES = 47  # + 1-byte length = 64 per record
+
+
+class SecureKVStore:
+    """A tiny persistent KV store over :class:`SecurePersistentSystem`.
+
+    Records live at block addresses derived from an in-memory directory
+    (rebuilt on recovery from the index block in a real design; kept
+    simple here).  A put is *acknowledged* once the store call returns —
+    i.e. once the record entered the battery-backed SecPB.
+    """
+
+    def __init__(self, scheme_name: str = "cobcm"):
+        self.system = SecurePersistentSystem(get_scheme(scheme_name))
+        self.directory: Dict[str, int] = {}
+        self._next_block = 1
+
+    def put(self, key: str, value: str) -> None:
+        """Durably store one record (acknowledged on return)."""
+        if len(key.encode()) > KEY_BYTES:
+            raise ValueError(f"key too long (max {KEY_BYTES} bytes)")
+        if len(value.encode()) > VALUE_BYTES:
+            raise ValueError(f"value too long (max {VALUE_BYTES} bytes)")
+        block = self.directory.get(key)
+        if block is None:
+            block = self._next_block
+            self._next_block += 1
+            self.directory[key] = block
+        self.system.store(block, self._encode(key, value))
+
+    def crash(self):
+        """Power loss; returns the battery's crash report."""
+        return self.system.crash()
+
+    def recover(self) -> Dict[str, str]:
+        """Post-crash: verify and decrypt every record.
+
+        Returns:
+            The recovered key -> value mapping.
+
+        Raises:
+            RuntimeError: if any record fails integrity verification.
+        """
+        report = self.system.recover()
+        if not report.ok:
+            raise RuntimeError(
+                "integrity verification failed:\n" + report.failure_summary()
+            )
+        recovered = {}
+        for key, block in self.directory.items():
+            record = self.system.memory.recover_block(block)
+            decoded = self._decode(record.plaintext)
+            if decoded is not None:
+                recovered[key] = decoded[1]
+        return recovered
+
+    @staticmethod
+    def _encode(key: str, value: str) -> bytes:
+        raw_value = value.encode()
+        payload = (
+            key.encode().ljust(KEY_BYTES, b"\x00")
+            + bytes([len(raw_value)])
+            + raw_value
+        )
+        return payload.ljust(64, b"\x00")
+
+    @staticmethod
+    def _decode(block: Optional[bytes]):
+        if block is None:
+            return None
+        key = block[:KEY_BYTES].rstrip(b"\x00").decode()
+        length = block[KEY_BYTES]
+        value = block[KEY_BYTES + 1 : KEY_BYTES + 1 + length].decode()
+        return key, value
+
+
+def main() -> None:
+    rng = random.Random(2023)
+    store = SecureKVStore("cobcm")
+
+    print("running KV workload (1000 puts over 200 keys)...")
+    acknowledged: Dict[str, str] = {}
+    crash_at = rng.randrange(600, 900)
+    for i in range(1000):
+        key = f"user:{rng.randrange(200):03d}"
+        value = f"session-{i}"
+        store.put(key, value)
+        acknowledged[key] = value
+        if i == crash_at:
+            print(f"power failure after put #{i}!")
+            break
+
+    report = store.crash()
+    print(
+        f"battery drained {report.entries_drained} SecPB entries "
+        f"({report.late_steps_completed} late metadata steps)"
+    )
+
+    recovered = store.recover()
+    assert recovered == acknowledged, "acknowledged puts must survive"
+    print(
+        f"recovered {len(recovered)} records; every acknowledged put "
+        f"verified and decrypted correctly."
+    )
+    sample_key = sorted(recovered)[0]
+    print(f"sample: {sample_key!r} -> {recovered[sample_key]!r}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Persistent data structures: log, hash map and queue surviving a crash.
+
+Three crash-consistent structures from :mod:`repro.apps` share one secure
+persistent address space.  A workload exercises all three, power fails at
+an arbitrary point, and recovery rebuilds exactly the acknowledged state —
+decrypted and integrity-verified block by block.
+
+Run:  python examples/persistent_structures.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import SecurePersistentSystem, get_scheme
+from repro.apps import PersistentHashMap, PersistentLog, PersistentQueue
+
+
+def main() -> None:
+    rng = random.Random(4242)
+    system = SecurePersistentSystem(get_scheme("cobcm"))
+
+    log = PersistentLog(system=system, base_block=0, capacity_blocks=256)
+    index = PersistentHashMap(buckets=128, system=system, base_block=512)
+    inbox = PersistentQueue(slots=32, system=system, base_block=1024)
+
+    print("running a mixed workload over log + hash map + queue...")
+    appended = []
+    dequeued = 0
+    for i in range(300):
+        op = rng.random()
+        if op < 0.5:
+            record = f"event-{i:04d}".encode()
+            log.append(record)
+            appended.append(record)
+            index.put(f"evt{i % 60}".encode(), str(i).encode())
+        elif op < 0.8:
+            try:
+                inbox.enqueue(f"msg-{i}".encode())
+            except ValueError:
+                inbox.dequeue()
+                dequeued += 1
+        elif len(inbox):
+            inbox.dequeue()
+            dequeued += 1
+
+    print(
+        f"  log: {len(log)} records, map: {len(index)} keys, "
+        f"queue: {len(inbox)} in flight"
+    )
+
+    report = system.crash()
+    print(
+        f"power failure! battery drained {report.entries_drained} SecPB "
+        f"entries, invariants ok: {report.invariants_ok}"
+    )
+
+    recovered_log = PersistentLog.recover(system, base_block=0)
+    recovered_map = PersistentHashMap.recover(system, buckets=128, base_block=512)
+    head, tail, recovered_queue = PersistentQueue.recover(
+        system, slots=32, base_block=1024
+    )
+
+    assert recovered_log == appended
+    assert len(recovered_map) == len(index)
+    assert len(recovered_queue) == len(inbox)
+    print("recovery verified:")
+    print(f"  log     -> {len(recovered_log)} records intact")
+    print(f"  map     -> {len(recovered_map)} keys intact")
+    print(f"  queue   -> head={head} tail={tail}, {len(recovered_queue)} items")
+    print(f"  sample log record: {recovered_log[0]!r}")
+
+
+if __name__ == "__main__":
+    main()

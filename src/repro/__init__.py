@@ -1,0 +1,70 @@
+"""repro — reproduction of SecPB (HPCA 2023).
+
+SecPB: Architectures for Secure Non-Volatile Memory with Battery-Backed
+Persist Buffers (Freij, Zhou, Solihin).
+
+Public API tour:
+
+* :mod:`repro.core` — the six SecPB schemes, the SecPB structure and
+  controller, the trace-driven timing simulator, and the functional
+  crash/recovery machinery (:class:`~repro.core.crash.SecurePersistentSystem`).
+* :mod:`repro.security` — split counter-mode encryption, MACs, Bonsai
+  Merkle Tree/Forests, metadata caches, PLP tuple invariants.
+* :mod:`repro.sim` — cache hierarchy, memory controller, NVM, configs.
+* :mod:`repro.workloads` — trace format and the 18 SPEC-like profiles.
+* :mod:`repro.baselines` — BBB, SP (PLP), eADR/s_eADR.
+* :mod:`repro.energy` — Table III costs and battery sizing.
+* :mod:`repro.analysis` — one ``run_*`` entry point per paper table/figure.
+
+Quickstart::
+
+    from repro import SecurePersistentSystem, get_scheme
+
+    system = SecurePersistentSystem(get_scheme("cobcm"))
+    system.store(0x40, b"hello, persistent world".ljust(64, b"\\0"))
+    system.crash()                    # battery drains + sec-syncs
+    report = system.recover()
+    assert report.ok
+"""
+
+from .core import (
+    SCHEMES,
+    SPECTRUM_ORDER,
+    GappedPersistentSystem,
+    MetadataStep,
+    Scheme,
+    SecPB,
+    SecurePersistencySimulator,
+    SecurePersistentSystem,
+    TimingCalibration,
+    enumerate_valid_schemes,
+    get_scheme,
+    run_scheme,
+)
+from .sim import DEFAULT_CONFIG, SECPB_SIZE_SWEEP, SimulationResult, SystemConfig
+from .workloads import Trace, all_benchmarks, build_trace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DEFAULT_CONFIG",
+    "GappedPersistentSystem",
+    "MetadataStep",
+    "SCHEMES",
+    "SECPB_SIZE_SWEEP",
+    "SPECTRUM_ORDER",
+    "Scheme",
+    "SecPB",
+    "SecurePersistencySimulator",
+    "SecurePersistentSystem",
+    "SimulationResult",
+    "SystemConfig",
+    "TimingCalibration",
+    "Trace",
+    "all_benchmarks",
+    "build_trace",
+    "enumerate_valid_schemes",
+    "get_scheme",
+    "run_scheme",
+    "__version__",
+]

@@ -1,0 +1,460 @@
+"""One entry point per paper table/figure (the experiment index).
+
+Each ``run_*`` function regenerates one evaluation artifact:
+
+========  ==============================================================
+table4    mean slowdown of the six schemes vs BBB (32-entry SecPB)
+fig6      per-benchmark execution time normalized to BBB
+table5    battery volume + core-area ratio for all schemes + baselines
+table6    battery capacity vs SecPB size (COBCM / NoGap)
+fig7      execution time vs SecPB size under CM
+fig8      BMT root updates normalized to secure write-through (sec_wt)
+fig9      BMF height study: cm_dbmf / cm_sbmf vs sp_dbmf / sp_sbmf
+========  ==============================================================
+
+Timing experiments are trace-driven; ``num_ops`` trades fidelity for run
+time (benchmark harnesses use larger traces than unit tests).  Every
+result object carries both the measured values and the paper's reported
+ones, and renders itself as text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+from ..baselines.eadr import (
+    PAPER_EFFECTIVE_BMT_OPS_PER_LINE,
+    estimate_eadr,
+    estimate_secure_eadr,
+)
+from ..baselines.strict import StrictPersistencySimulator
+from ..core.controller import TimingCalibration
+from ..core.schemes import SCHEMES, SPECTRUM_ORDER, get_scheme
+from ..core.simulator import SecurePersistencySimulator
+from ..energy.battery import estimate_bbb, estimate_scheme, size_sweep
+from ..security.bmf import ForestTimingModel
+from ..sim.config import SECPB_SIZE_SWEEP, SystemConfig
+from ..sim.stats import SimulationResult, geometric_mean
+from ..workloads.spec import all_benchmarks, build_trace
+from . import paper_values
+from .report import format_table, paper_vs_measured, series_table
+
+DEFAULT_NUM_OPS = 60_000
+DEFAULT_WARMUP = 0.3
+"""Leading trace fraction excluded from timing (cache/SecPB warmup)."""
+
+
+def _benchmark_list(benchmarks: Optional[Sequence[str]]) -> List[str]:
+    return list(benchmarks) if benchmarks is not None else all_benchmarks()
+
+
+@dataclass
+class SchemeOverheads:
+    """Measured overheads (%) per scheme, with per-benchmark detail."""
+
+    experiment: str
+    mean_overhead_pct: Dict[str, float]
+    per_benchmark_pct: Dict[str, Dict[str, float]]
+    paper_mean_pct: Mapping[str, float] = field(default_factory=dict)
+
+    def render(self) -> str:
+        summary = paper_vs_measured(
+            self.mean_overhead_pct,
+            dict(self.paper_mean_pct),
+            unit="%",
+            title=f"{self.experiment}: mean slowdown vs BBB",
+            order=[k for k in SPECTRUM_ORDER if k in self.mean_overhead_pct]
+            + [k for k in self.mean_overhead_pct if k not in SPECTRUM_ORDER],
+        )
+        detail = series_table(
+            self.per_benchmark_pct,
+            col_order=list(self.mean_overhead_pct),
+            title=f"\n{self.experiment}: per-benchmark overhead (%)",
+        )
+        return summary + "\n" + detail
+
+
+def _run_overhead_study(
+    experiment: str,
+    scheme_runners: Mapping[str, Callable[[object], SimulationResult]],
+    benchmarks: Sequence[str],
+    num_ops: int,
+    seed: int,
+    config: SystemConfig,
+    calibration: TimingCalibration,
+    paper: Mapping[str, float],
+    warmup_frac: float = DEFAULT_WARMUP,
+) -> SchemeOverheads:
+    """Shared loop: BBB baseline + N secure configurations per benchmark."""
+    bbb = SecurePersistencySimulator(config=config, scheme=None, calibration=calibration)
+    per_benchmark: Dict[str, Dict[str, float]] = {}
+    mean: Dict[str, float] = {}
+    baselines: Dict[str, SimulationResult] = {}
+    for bench in benchmarks:
+        trace = build_trace(bench, num_ops, seed)
+        baselines[bench] = bbb.run(trace, warmup_frac)
+        per_benchmark[bench] = {}
+        for name, runner in scheme_runners.items():
+            result = runner(trace, warmup_frac)
+            per_benchmark[bench][name] = result.overhead_pct_vs(baselines[bench])
+    for name in scheme_runners:
+        # The paper's per-benchmark extremes (e.g. gamess at 18.2x under
+        # CM) are only consistent with its reported averages if "average"
+        # is the geometric mean of normalized execution times — the
+        # standard convention for SPEC slowdowns — so that is what we use.
+        slowdowns = [
+            1.0 + per_benchmark[b][name] / 100.0 for b in benchmarks
+        ]
+        mean[name] = (geometric_mean(slowdowns) - 1.0) * 100.0
+    return SchemeOverheads(
+        experiment=experiment,
+        mean_overhead_pct=mean,
+        per_benchmark_pct=per_benchmark,
+        paper_mean_pct=paper,
+    )
+
+
+def run_table4(
+    num_ops: int = DEFAULT_NUM_OPS,
+    seed: int = 1,
+    benchmarks: Optional[Sequence[str]] = None,
+    config: Optional[SystemConfig] = None,
+    calibration: Optional[TimingCalibration] = None,
+) -> SchemeOverheads:
+    """Table IV: mean slowdown of all six schemes, 32-entry SecPB."""
+    config = config if config is not None else SystemConfig()
+    calibration = calibration if calibration is not None else TimingCalibration()
+    runners = {
+        name: SecurePersistencySimulator(
+            config=config, scheme=SCHEMES[name], calibration=calibration
+        ).run
+        for name in SPECTRUM_ORDER
+    }
+    return _run_overhead_study(
+        "table4",
+        runners,
+        _benchmark_list(benchmarks),
+        num_ops,
+        seed,
+        config,
+        calibration,
+        paper_values.TABLE4_SLOWDOWN_PCT,
+    )
+
+
+def run_fig6(
+    num_ops: int = DEFAULT_NUM_OPS,
+    seed: int = 1,
+    benchmarks: Optional[Sequence[str]] = None,
+    config: Optional[SystemConfig] = None,
+    calibration: Optional[TimingCalibration] = None,
+) -> SchemeOverheads:
+    """Fig. 6: per-benchmark execution time normalized to BBB.
+
+    Same data as Table IV at per-benchmark granularity; the render method
+    prints the full per-benchmark grid (the figure's series).
+    """
+    result = run_table4(num_ops, seed, benchmarks, config, calibration)
+    result.experiment = "fig6"
+    return result
+
+
+@dataclass
+class BatteryTable:
+    """Table V: battery sizing for all systems."""
+
+    rows: List[object]  # BatteryEstimate
+    paper_supercap: Mapping[str, float] = field(default_factory=dict)
+    paper_core_pct: Mapping[str, float] = field(default_factory=dict)
+
+    def by_label(self) -> Dict[str, object]:
+        return {est.label: est for est in self.rows}
+
+    def render(self) -> str:
+        table_rows = []
+        for est in self.rows:
+            paper_sc = self.paper_supercap.get(est.label)
+            table_rows.append(
+                [
+                    est.label,
+                    f"{est.supercap_mm3:.2f}",
+                    "-" if paper_sc is None else f"{paper_sc:.2f}",
+                    f"{est.li_thin_mm3:.3f}",
+                    f"{est.supercap_core_pct:.1f}%",
+                    f"{est.li_thin_core_pct:.1f}%",
+                ]
+            )
+        return format_table(
+            [
+                "system",
+                "SuperCap mm^3",
+                "paper",
+                "Li-Thin mm^3",
+                "SuperCap %core",
+                "Li-Thin %core",
+            ],
+            table_rows,
+            title="table5: energy-source size estimates (32-entry SecPB)",
+        )
+
+
+def run_table5(
+    config: Optional[SystemConfig] = None,
+    bmt_ops_per_line: int = PAPER_EFFECTIVE_BMT_OPS_PER_LINE,
+) -> BatteryTable:
+    """Table V: battery estimates for all schemes plus s_eADR/BBB/eADR."""
+    config = config if config is not None else SystemConfig()
+    rows = [
+        estimate_scheme(get_scheme(name), config) for name in SPECTRUM_ORDER
+    ]
+    rows.append(estimate_secure_eadr(config, bmt_ops_per_line=bmt_ops_per_line))
+    rows.append(estimate_bbb(config))
+    rows.append(estimate_eadr(config))
+    return BatteryTable(
+        rows=rows,
+        paper_supercap=paper_values.TABLE5_SUPERCAP_MM3,
+        paper_core_pct=paper_values.TABLE5_SUPERCAP_CORE_PCT,
+    )
+
+
+@dataclass
+class SizeBatteryTable:
+    """Table VI: battery vs SecPB size for COBCM and NoGap."""
+
+    cobcm: Dict[int, object]
+    nogap: Dict[int, object]
+
+    def render(self) -> str:
+        rows = []
+        for size in sorted(self.cobcm):
+            rows.append(
+                [
+                    size,
+                    f"{self.cobcm[size].supercap_mm3:.2f}",
+                    f"{paper_values.TABLE6_COBCM_SUPERCAP_MM3.get(size, float('nan')):.2f}",
+                    f"{self.nogap[size].supercap_mm3:.2f}",
+                    f"{paper_values.TABLE6_NOGAP_SUPERCAP_MM3.get(size, float('nan')):.2f}",
+                ]
+            )
+        return format_table(
+            ["entries", "COBCM mm^3", "paper", "NoGap mm^3", "paper"],
+            rows,
+            title="table6: SuperCap capacity vs SecPB size",
+        )
+
+
+def run_table6(
+    sizes: Sequence[int] = SECPB_SIZE_SWEEP,
+    config: Optional[SystemConfig] = None,
+) -> SizeBatteryTable:
+    """Table VI: battery capacity across SecPB sizes (COBCM, NoGap)."""
+    return SizeBatteryTable(
+        cobcm=size_sweep(get_scheme("cobcm"), sizes, config),
+        nogap=size_sweep(get_scheme("nogap"), sizes, config),
+    )
+
+
+@dataclass
+class SizeSweepResult:
+    """Fig. 7 (+ Fig. 8 size series): CM performance across SecPB sizes."""
+
+    overhead_pct: Dict[int, float]
+    per_benchmark_pct: Dict[str, Dict[int, float]]
+    bmt_updates_vs_secwt_pct: Dict[int, float]
+
+    def render(self) -> str:
+        rows = [
+            [
+                size,
+                f"{self.overhead_pct[size]:.1f}%",
+                f"{self.bmt_updates_vs_secwt_pct[size]:.1f}%",
+            ]
+            for size in sorted(self.overhead_pct)
+        ]
+        return format_table(
+            ["entries", "CM overhead", "BMT updates vs sec_wt"],
+            rows,
+            title=(
+                "fig7/fig8: SecPB size sweep under CM "
+                f"(paper anchors: {paper_values.FIG7_CM_OVERHEAD_PCT}, "
+                f"{paper_values.FIG8_BMT_REDUCTION_PCT})"
+            ),
+        )
+
+
+def run_fig7(
+    sizes: Sequence[int] = SECPB_SIZE_SWEEP,
+    num_ops: int = DEFAULT_NUM_OPS,
+    seed: int = 1,
+    benchmarks: Optional[Sequence[str]] = None,
+    calibration: Optional[TimingCalibration] = None,
+) -> SizeSweepResult:
+    """Fig. 7: execution time of various SecPB sizes under the CM model.
+
+    Also measures the Fig. 8 size series (BMT root updates vs sec_wt),
+    since both come from the same sweep.
+    """
+    calibration = calibration if calibration is not None else TimingCalibration()
+    benchmarks = _benchmark_list(benchmarks)
+    overhead: Dict[int, float] = {}
+    per_benchmark: Dict[str, Dict[int, float]] = {b: {} for b in benchmarks}
+    bmt_pct: Dict[int, float] = {}
+    for size in sizes:
+        config = SystemConfig().with_secpb_entries(size)
+        bbb = SecurePersistencySimulator(config=config, scheme=None, calibration=calibration)
+        cm = SecurePersistencySimulator(
+            config=config, scheme=get_scheme("cm"), calibration=calibration
+        )
+        slowdowns = []
+        total_stores = 0.0
+        total_updates = 0.0
+        for bench in benchmarks:
+            trace = build_trace(bench, num_ops, seed)
+            base = bbb.run(trace, DEFAULT_WARMUP)
+            result = cm.run(trace, DEFAULT_WARMUP)
+            pct_overhead = result.overhead_pct_vs(base)
+            per_benchmark[bench][size] = pct_overhead
+            slowdowns.append(1.0 + pct_overhead / 100.0)
+            total_stores += result.stats.get("secpb.writes", 0.0)
+            total_updates += result.stats.get("bmt.root_updates", 0.0)
+        overhead[size] = (geometric_mean(slowdowns) - 1.0) * 100.0
+        # Paper Fig. 8: *total* updates across the suite, normalized to
+        # sec_wt (one root update per store).
+        bmt_pct[size] = 100.0 * total_updates / total_stores if total_stores else 0.0
+    return SizeSweepResult(overhead, per_benchmark, bmt_pct)
+
+
+@dataclass
+class BmtUpdatesResult:
+    """Fig. 8: BMT root updates per scheme, normalized to sec_wt."""
+
+    updates_vs_secwt_pct: Dict[str, float]
+
+    def render(self) -> str:
+        rows = [
+            [name, f"{self.updates_vs_secwt_pct[name]:.1f}%"]
+            for name in self.updates_vs_secwt_pct
+        ]
+        return format_table(
+            ["scheme", "BMT root updates vs sec_wt"],
+            rows,
+            title="fig8: BMT root updates normalized to secure write-through",
+        )
+
+
+def run_fig8(
+    num_ops: int = DEFAULT_NUM_OPS,
+    seed: int = 1,
+    benchmarks: Optional[Sequence[str]] = None,
+    config: Optional[SystemConfig] = None,
+    calibration: Optional[TimingCalibration] = None,
+) -> BmtUpdatesResult:
+    """Fig. 8: BMT root updates of each scheme vs sec_wt (one per store)."""
+    config = config if config is not None else SystemConfig()
+    calibration = calibration if calibration is not None else TimingCalibration()
+    benchmarks = _benchmark_list(benchmarks)
+    result: Dict[str, float] = {}
+    for name in SPECTRUM_ORDER:
+        sim = SecurePersistencySimulator(
+            config=config, scheme=SCHEMES[name], calibration=calibration
+        )
+        total_stores = 0.0
+        total_updates = 0.0
+        for bench in benchmarks:
+            trace = build_trace(bench, num_ops, seed)
+            run = sim.run(trace, DEFAULT_WARMUP)
+            total_stores += run.stats.get("secpb.writes", 0.0)
+            total_updates += run.stats.get("bmt.root_updates", 0.0)
+        result[name] = (
+            100.0 * total_updates / total_stores if total_stores else 0.0
+        )
+    return BmtUpdatesResult(result)
+
+
+def run_fig9(
+    num_ops: int = DEFAULT_NUM_OPS,
+    seed: int = 1,
+    benchmarks: Optional[Sequence[str]] = None,
+    calibration: Optional[TimingCalibration] = None,
+    root_cache_bytes: int = 4096,
+) -> SchemeOverheads:
+    """Fig. 9: BMT-height study — CM and SP, each with DBMF/SBMF.
+
+    DBMF reduces the effective BMT update height to 2 levels, SBMF to 5;
+    the SP variants use a 4 KB root cache at the MC (paper Sec. VI-E).
+    """
+    config = SystemConfig()
+    calibration = calibration if calibration is not None else TimingCalibration()
+    cm = get_scheme("cm")
+
+    def forest_fn(cut: int) -> ForestTimingModel:
+        return ForestTimingModel(
+            full_height=config.security.bmt_levels,
+            cut_height=cut,
+            root_cache_bytes=root_cache_bytes,
+        )
+
+    def cm_runner(cut: Optional[int]):
+        def run(trace, warmup_frac=0.0):
+            forest = forest_fn(cut) if cut is not None else None
+            sim = SecurePersistencySimulator(
+                config=config,
+                scheme=cm,
+                calibration=calibration,
+                bmt_levels_fn=forest.levels if forest is not None else None,
+            )
+            return sim.run(trace, warmup_frac)
+
+        return run
+
+    def sp_runner(cut: Optional[int]):
+        def run(trace, warmup_frac=0.0):
+            forest = forest_fn(cut) if cut is not None else None
+            sim = StrictPersistencySimulator(
+                config=config,
+                calibration=calibration,
+                bmt_levels_fn=forest.levels if forest is not None else None,
+            )
+            return sim.run(trace, warmup_frac)
+
+        return run
+
+    runners = {
+        "cm": cm_runner(None),
+        "cm_dbmf": cm_runner(2),
+        "cm_sbmf": cm_runner(5),
+        "sp_dbmf": sp_runner(2),
+        "sp_sbmf": sp_runner(5),
+    }
+    return _run_overhead_study(
+        "fig9",
+        runners,
+        _benchmark_list(benchmarks),
+        num_ops,
+        seed,
+        config,
+        calibration,
+        paper_values.FIG9_OVERHEAD_PCT,
+    )
+
+
+EXPERIMENTS: Dict[str, Callable] = {
+    "table4": run_table4,
+    "fig6": run_fig6,
+    "table5": run_table5,
+    "table6": run_table6,
+    "fig7": run_fig7,
+    "fig8": run_fig8,
+    "fig9": run_fig9,
+}
+"""Registry: experiment id -> entry point (the per-experiment index)."""
+
+
+def run_experiment(name: str, **kwargs):
+    """Run one experiment by its paper artifact id (e.g. ``"table4"``)."""
+    if name not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {name!r}; available: {sorted(EXPERIMENTS)}"
+        )
+    return EXPERIMENTS[name](**kwargs)

@@ -1,0 +1,103 @@
+"""Text formatting of experiment results in the paper's table shapes."""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render a fixed-width text table.
+
+    Args:
+        headers: column names.
+        rows: row cells (stringified with ``str``; floats pre-format them).
+        title: optional title line above the table.
+    """
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(parts: Sequence[str]) -> str:
+        return "  ".join(p.ljust(w) for p, w in zip(parts, widths)).rstrip()
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(headers))
+    out.append(line(["-" * w for w in widths]))
+    out.extend(line(row) for row in cells)
+    return "\n".join(out)
+
+
+def pct(value: float, digits: int = 1) -> str:
+    """Format a percentage (``12.3%``)."""
+    return f"{value:.{digits}f}%"
+
+
+def ratio(value: float, digits: int = 2) -> str:
+    """Format a slowdown ratio (``1.23x``)."""
+    return f"{value:.{digits}f}x"
+
+
+def fmt(value: float, digits: int = 2) -> str:
+    """Format a float with fixed digits."""
+    return f"{value:.{digits}f}"
+
+
+def paper_vs_measured(
+    measured: Mapping[str, float],
+    paper: Mapping[str, float],
+    unit: str = "%",
+    title: Optional[str] = None,
+    order: Optional[Sequence[str]] = None,
+) -> str:
+    """Two-column comparison table: measured next to the paper's value."""
+    keys = list(order) if order is not None else list(measured)
+    rows: List[List[object]] = []
+    for key in keys:
+        measured_value = measured.get(key)
+        paper_value = paper.get(key)
+        rows.append(
+            [
+                key,
+                "-" if measured_value is None else f"{measured_value:.2f}{unit}",
+                "-" if paper_value is None else f"{paper_value:.2f}{unit}",
+            ]
+        )
+    return format_table(["name", "measured", "paper"], rows, title=title)
+
+
+def series_table(
+    series: Mapping[str, Mapping[str, float]],
+    row_order: Optional[Sequence[str]] = None,
+    col_order: Optional[Sequence[str]] = None,
+    cell_digits: int = 2,
+    title: Optional[str] = None,
+    corner: str = "benchmark",
+) -> str:
+    """Render nested mapping {row: {col: value}} as a grid (figure data)."""
+    rows_keys = list(row_order) if row_order is not None else list(series)
+    cols: List[str] = (
+        list(col_order)
+        if col_order is not None
+        else sorted({c for r in series.values() for c in r})
+    )
+    headers = [corner] + cols
+    rows = []
+    for row_key in rows_keys:
+        row = [row_key]
+        for col in cols:
+            value = series.get(row_key, {}).get(col)
+            row.append("-" if value is None else f"{value:.{cell_digits}f}")
+        rows.append(row)
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,83 @@
+"""JSON serialization of experiment results.
+
+Every experiment result object renders as text for humans; this module
+flattens them to plain dictionaries (and JSON files) for notebooks,
+plotting scripts and regression tracking.  ``save_result`` /
+``load_result`` round-trip any of the harness's result types.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any, Dict
+
+from ..energy.battery import BatteryEstimate
+from ..sim.stats import SimulationResult
+from .experiments import (
+    BatteryTable,
+    BmtUpdatesResult,
+    SchemeOverheads,
+    SizeBatteryTable,
+    SizeSweepResult,
+)
+
+
+def to_jsonable(obj: Any) -> Any:
+    """Recursively convert a result object into JSON-compatible data."""
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, bytes):
+        return obj.hex()
+    if isinstance(obj, dict):
+        return {str(k): to_jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return [to_jsonable(v) for v in obj]
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        data = {
+            field.name: to_jsonable(getattr(obj, field.name))
+            for field in dataclasses.fields(obj)
+        }
+        data["__type__"] = type(obj).__name__
+        return data
+    if hasattr(obj, "__dict__"):
+        return {
+            str(k): to_jsonable(v)
+            for k, v in vars(obj).items()
+            if not k.startswith("_")
+        }
+    return str(obj)
+
+
+def result_to_dict(result: Any) -> Dict[str, Any]:
+    """Flatten one experiment result to a dictionary.
+
+    Works for every result type the harness produces (SchemeOverheads,
+    BatteryTable, SizeBatteryTable, SizeSweepResult, BmtUpdatesResult,
+    SimulationResult, BatteryEstimate) and anything dataclass-like.
+    """
+    data = to_jsonable(result)
+    if not isinstance(data, dict):
+        raise TypeError(f"cannot flatten {type(result).__name__} to a dict")
+    return data
+
+
+def save_result(result: Any, path: str) -> None:
+    """Write one result as pretty-printed JSON."""
+    with open(path, "w") as handle:
+        json.dump(result_to_dict(result), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_result(path: str) -> Dict[str, Any]:
+    """Read a JSON result back as a plain dictionary."""
+    with open(path) as handle:
+        return json.load(handle)
+
+
+__all__ = [
+    "load_result",
+    "result_to_dict",
+    "save_result",
+    "to_jsonable",
+]

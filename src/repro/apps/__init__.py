@@ -1,0 +1,12 @@
+"""Crash-consistent persistent data structures on secure memory.
+
+The application layer the paper's introduction motivates: data structures
+whose operations are durable the moment they return, with no flushes or
+fences, and whose contents decrypt and verify after any crash.
+"""
+
+from .hashmap import PersistentHashMap
+from .log import PersistentLog
+from .queue import PersistentQueue
+
+__all__ = ["PersistentHashMap", "PersistentLog", "PersistentQueue"]

@@ -1,0 +1,187 @@
+"""A crash-consistent persistent hash map on secure persistent memory.
+
+Open-addressing (linear probing) over block-sized buckets: each 64-byte
+bucket holds one record — a state byte, a 23-byte key and a 32-byte value
+— so every bucket update is a single-block store, which the SecPB makes
+atomic-and-persistent the moment it is issued.  Updates are
+crash-consistent by construction: a bucket is either its old record or
+its new record, never torn.
+
+Deletions use tombstones so probe chains stay intact.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Iterator, Optional, Tuple
+
+from ..core.crash import SecurePersistentSystem
+from ..core.schemes import Scheme, get_scheme
+from ..sim.config import CACHE_BLOCK_BYTES
+
+KEY_BYTES = 23
+VALUE_BYTES = 32
+
+_EMPTY = 0
+_LIVE = 1
+_TOMBSTONE = 2
+
+
+class PersistentHashMap:
+    """Fixed-capacity persistent hash map (bytes keys/values).
+
+    Args:
+        buckets: number of block-sized buckets (power of two recommended).
+        system: backing secure persistent system.
+        base_block: first block of the bucket array.
+    """
+
+    def __init__(
+        self,
+        buckets: int = 256,
+        system: Optional[SecurePersistentSystem] = None,
+        base_block: int = 0,
+        scheme: Optional[Scheme] = None,
+    ):
+        if buckets < 2:
+            raise ValueError("need at least two buckets")
+        self.buckets = buckets
+        self.base_block = base_block
+        self.system = (
+            system
+            if system is not None
+            else SecurePersistentSystem(scheme if scheme else get_scheme("cobcm"))
+        )
+        # Volatile shadow of bucket states for fast probing.
+        self._shadow: Dict[int, Tuple[int, bytes, bytes]] = {}
+        self._live = 0
+
+    # Encoding ------------------------------------------------------------
+
+    @staticmethod
+    def _check(key: bytes, value: Optional[bytes] = None) -> None:
+        if not key or len(key) > KEY_BYTES:
+            raise ValueError(f"key must be 1..{KEY_BYTES} bytes")
+        if value is not None and len(value) > VALUE_BYTES:
+            raise ValueError(f"value must be <= {VALUE_BYTES} bytes")
+
+    @staticmethod
+    def _encode(state: int, key: bytes, value: bytes) -> bytes:
+        record = bytes([state, len(key)])
+        record += key.ljust(KEY_BYTES, b"\x00")
+        record += bytes([len(value)])
+        record += value.ljust(VALUE_BYTES, b"\x00")
+        return record.ljust(CACHE_BLOCK_BYTES, b"\x00")
+
+    @staticmethod
+    def _decode(block: bytes) -> Tuple[int, bytes, bytes]:
+        state = block[0]
+        key_len = block[1]
+        key = block[2 : 2 + key_len]
+        value_len = block[2 + KEY_BYTES]
+        value = block[3 + KEY_BYTES : 3 + KEY_BYTES + value_len]
+        return state, key, value
+
+    def _home(self, key: bytes) -> int:
+        digest = hashlib.sha256(key).digest()
+        return int.from_bytes(digest[:8], "little") % self.buckets
+
+    def _probe(self, key: bytes) -> Iterator[int]:
+        start = self._home(key)
+        for step in range(self.buckets):
+            yield (start + step) % self.buckets
+
+    # Operations ------------------------------------------------------------
+
+    def put(self, key: bytes, value: bytes) -> None:
+        """Insert or update; durable on return.
+
+        Raises:
+            ValueError: on size violations or a full table.
+        """
+        self._check(key, value)
+        first_free = None
+        for bucket in self._probe(key):
+            state, existing_key, _ = self._shadow.get(bucket, (_EMPTY, b"", b""))
+            if state == _LIVE and existing_key == key:
+                self._write(bucket, _LIVE, key, value)
+                return
+            if state == _TOMBSTONE and first_free is None:
+                first_free = bucket
+            if state == _EMPTY:
+                target = first_free if first_free is not None else bucket
+                self._write(target, _LIVE, key, value)
+                self._live += 1
+                return
+        if first_free is not None:
+            self._write(first_free, _LIVE, key, value)
+            self._live += 1
+            return
+        raise ValueError("hash map full")
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        """Look up a key (None when absent)."""
+        self._check(key)
+        for bucket in self._probe(key):
+            state, existing_key, value = self._shadow.get(bucket, (_EMPTY, b"", b""))
+            if state == _EMPTY:
+                return None
+            if state == _LIVE and existing_key == key:
+                return value
+        return None
+
+    def delete(self, key: bytes) -> bool:
+        """Remove a key; returns True when it was present."""
+        self._check(key)
+        for bucket in self._probe(key):
+            state, existing_key, _ = self._shadow.get(bucket, (_EMPTY, b"", b""))
+            if state == _EMPTY:
+                return False
+            if state == _LIVE and existing_key == key:
+                self._write(bucket, _TOMBSTONE, key, b"")
+                self._live -= 1
+                return True
+        return False
+
+    def _write(self, bucket: int, state: int, key: bytes, value: bytes) -> None:
+        self._shadow[bucket] = (state, key, value)
+        self.system.store(
+            self.base_block + bucket, self._encode(state, key, value)
+        )
+
+    def __len__(self) -> int:
+        return self._live
+
+    # Crash / recovery ------------------------------------------------------
+
+    def crash(self):
+        """Power loss."""
+        return self.system.crash()
+
+    @classmethod
+    def recover(
+        cls,
+        system: SecurePersistentSystem,
+        buckets: int = 256,
+        base_block: int = 0,
+    ) -> Dict[bytes, bytes]:
+        """Rebuild key->value contents from persistent state.
+
+        Every touched bucket is decrypted and integrity-verified.
+
+        Raises:
+            RuntimeError: if a written bucket fails verification.
+        """
+        contents: Dict[bytes, bytes] = {}
+        for bucket in range(buckets):
+            record = system.memory.recover_block(base_block + bucket)
+            if record.status.value == "not-present":
+                continue  # never written
+            if not record.ok:
+                raise RuntimeError(
+                    f"bucket {bucket} unrecoverable: {record.status.value}"
+                )
+            state, key, value = cls._decode(record.plaintext)
+            if state == _LIVE:
+                contents[key] = value
+        return contents

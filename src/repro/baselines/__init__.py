@@ -1,0 +1,24 @@
+"""Baselines the paper compares against: BBB, SP (PLP), eADR/s_eADR."""
+
+from .bbb import PlaintextPersistentSystem, make_bbb_simulator, run_bbb
+from .eadr import (
+    PAPER_EFFECTIVE_BMT_OPS_PER_LINE,
+    eadr_drain_energy_nj,
+    estimate_eadr,
+    estimate_secure_eadr,
+    secure_eadr_drain_energy_nj,
+)
+from .strict import StrictPersistencySimulator, run_sp
+
+__all__ = [
+    "PAPER_EFFECTIVE_BMT_OPS_PER_LINE",
+    "PlaintextPersistentSystem",
+    "StrictPersistencySimulator",
+    "eadr_drain_energy_nj",
+    "estimate_eadr",
+    "estimate_secure_eadr",
+    "make_bbb_simulator",
+    "run_bbb",
+    "run_sp",
+    "secure_eadr_drain_energy_nj",
+]

@@ -1,0 +1,99 @@
+"""eADR and secure-eADR (s_eADR) battery models.
+
+Intel eADR [51] puts *all* caches in the persistent domain: on power loss
+the battery flushes every cache line to PM.  Secure eADR (s_eADR) is the
+paper's hypothetical eADR system with memory encryption and BMT integrity:
+besides moving every line, the battery must generate every line's security
+metadata under the worst-case assumptions of Sec. V-B (all lines dirty, no
+shared counter pages, no overlapping BMT paths, all metadata-cache misses).
+
+With Table III constants this reproduces the paper's eADR figure exactly
+(149.32 mm^3 SuperCap).  For s_eADR the paper's stated assumptions yield
+~11,300 mm^3, while the paper reports 3,706 mm^3 — consistent with ~2
+effective BMT node fetch+hash operations per line once adjacent lines
+share upper path nodes.  ``bmt_ops_per_line`` exposes that knob (default
+8 = the stated worst case; 2 = the value that matches the paper's table);
+see DESIGN.md "Known modelling deviations".
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..energy.battery import BatteryEstimate
+from ..energy.costs import EnergyCosts
+from ..sim.config import SystemConfig
+
+PAPER_EFFECTIVE_BMT_OPS_PER_LINE = 2
+"""BMT ops/line that reconciles the paper's s_eADR figure (see module doc)."""
+
+
+def _cache_lines(config: SystemConfig):
+    """(lines, per-byte move cost name) per cache level."""
+    return (
+        (config.l1.num_blocks, "move_l1_to_pm_nj"),
+        (config.l2.num_blocks, "move_l2_to_pm_nj"),
+        (config.l3.num_blocks, "move_l3_to_pm_nj"),
+    )
+
+
+def eadr_drain_energy_nj(
+    config: Optional[SystemConfig] = None,
+    costs: Optional[EnergyCosts] = None,
+) -> float:
+    """Insecure eADR: flush every cache line to PM."""
+    config = config if config is not None else SystemConfig()
+    costs = costs if costs is not None else EnergyCosts()
+    total = 0.0
+    for lines, cost_name in _cache_lines(config):
+        total += lines * costs.block(getattr(costs, cost_name))
+    return total
+
+
+def secure_eadr_drain_energy_nj(
+    config: Optional[SystemConfig] = None,
+    costs: Optional[EnergyCosts] = None,
+    bmt_ops_per_line: Optional[int] = None,
+) -> float:
+    """s_eADR: flush every line *and* generate its security metadata.
+
+    Per line (Sec. V-B assumptions): counter fetch from PM (all misses),
+    OTP generation, ``bmt_ops_per_line`` BMT node fetch+hash operations,
+    and one MAC computation (no fetch).  XOR and increment are free.
+    """
+    config = config if config is not None else SystemConfig()
+    costs = costs if costs is not None else EnergyCosts()
+    if bmt_ops_per_line is None:
+        bmt_ops_per_line = config.security.bmt_levels
+    per_line_metadata = (
+        costs.move_pm_block_nj  # counter fetch
+        + costs.aes_block_nj  # OTP
+        + bmt_ops_per_line * (costs.move_pm_block_nj + costs.sha_block_nj)
+        + costs.sha_block_nj  # MAC
+    )
+    total = eadr_drain_energy_nj(config, costs)
+    total_lines = sum(lines for lines, _ in _cache_lines(config))
+    total += total_lines * per_line_metadata
+    return total
+
+
+def estimate_eadr(
+    config: Optional[SystemConfig] = None,
+    costs: Optional[EnergyCosts] = None,
+) -> BatteryEstimate:
+    """Battery estimate for insecure eADR (Table V row)."""
+    return BatteryEstimate.from_energy(
+        "eadr", eadr_drain_energy_nj(config, costs)
+    )
+
+
+def estimate_secure_eadr(
+    config: Optional[SystemConfig] = None,
+    costs: Optional[EnergyCosts] = None,
+    bmt_ops_per_line: Optional[int] = None,
+) -> BatteryEstimate:
+    """Battery estimate for s_eADR (Table V row)."""
+    return BatteryEstimate.from_energy(
+        "s_eadr",
+        secure_eadr_drain_energy_nj(config, costs, bmt_ops_per_line),
+    )

@@ -1,0 +1,223 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``experiment <id>`` — regenerate one paper artifact (table4, fig6,
+  table5, table6, fig7, fig8, fig9) and print it.
+* ``simulate`` — run one (benchmark, scheme) pair and report cycles, IPC,
+  PPTI/NWPE and overhead vs BBB.
+* ``advisor`` — recommend a scheme for a battery budget.
+* ``recovery-time`` — worst-case crash-to-consistency window per scheme.
+* ``multicore`` — multi-core scaling of one scheme with sharing traffic.
+* ``recover-demo`` — the quickstart crash-recovery walkthrough.
+* ``workloads`` — characterize the 18 profiles (PPTI / NWPE / IPC).
+* ``list`` — available benchmarks, schemes and experiments.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis.experiments import EXPERIMENTS, run_experiment
+from .baselines.bbb import run_bbb
+from .core.schemes import SPECTRUM_ORDER, get_scheme
+from .core.simulator import run_scheme
+from .energy.advisor import recommend
+from .energy.costs import LI_THIN, SUPERCAP
+from .workloads.spec import all_benchmarks, build_trace
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    kwargs = {}
+    if args.id in ("table4", "fig6", "fig8", "fig9"):
+        kwargs["num_ops"] = args.num_ops
+    elif args.id == "fig7":
+        kwargs["num_ops"] = args.num_ops
+    result = run_experiment(args.id, **kwargs)
+    print(result.render())
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    trace = build_trace(args.benchmark, args.num_ops, args.seed)
+    baseline = run_bbb(trace)
+    print(
+        f"benchmark {args.benchmark}: {trace.num_stores} stores / "
+        f"{trace.instructions} instructions"
+    )
+    print(
+        f"  {'bbb':<7} cycles={baseline.cycles:12.0f} ipc={baseline.ipc:5.2f}"
+    )
+    schemes = SPECTRUM_ORDER if args.scheme == "all" else [args.scheme]
+    for name in schemes:
+        result = run_scheme(trace, get_scheme(name))
+        print(
+            f"  {name:<7} cycles={result.cycles:12.0f} "
+            f"ipc={result.ipc:5.2f} "
+            f"overhead={result.overhead_pct_vs(baseline):7.1f}%  "
+            f"ppti={result.stats['ppti']:5.1f} nwpe={result.stats['nwpe']:5.1f}"
+        )
+    return 0
+
+
+def _cmd_advisor(args: argparse.Namespace) -> int:
+    technology = LI_THIN if args.technology == "li-thin" else SUPERCAP
+    print(recommend(args.budget, technology, include_store_buffer=args.store_buffer))
+    return 0
+
+
+def _cmd_recovery_time(args: argparse.Namespace) -> int:
+    from .core.recovery_time import recovery_time_table
+    from .sim.config import SystemConfig
+
+    config = SystemConfig().with_secpb_entries(args.entries)
+    table = recovery_time_table(config)
+    print(f"worst-case crash-to-consistency time ({args.entries}-entry SecPB):")
+    for name, estimate in table.items():
+        print(
+            f"  {name:<7} {estimate.per_entry_cycles:7.0f} cycles/entry   "
+            f"{estimate.total_us:8.2f} us total"
+        )
+    return 0
+
+
+def _cmd_multicore(args: argparse.Namespace) -> int:
+    from .core.multicore import MultiCoreSecPBSimulator, sharing_traces
+
+    scheme = get_scheme(args.scheme)
+    base_cycles = None
+    print(
+        f"multi-core scaling for {args.scheme} "
+        f"(share fraction {args.share}, {args.num_ops} refs/core):"
+    )
+    for cores in (1, 2, 4, 8):
+        traces = sharing_traces(
+            cores, args.num_ops, share_fraction=args.share, seed=args.seed
+        )
+        result = MultiCoreSecPBSimulator(cores, scheme).run(traces)
+        if base_cycles is None:
+            base_cycles = result.cycles
+        migrations = int(result.stats.get("coherence.migrations", 0))
+        print(
+            f"  {cores} core(s): makespan {result.cycles:12.0f} cycles "
+            f"({result.cycles / base_cycles:5.2f}x)  migrations {migrations}"
+        )
+    return 0
+
+
+def _cmd_recover_demo(args: argparse.Namespace) -> int:
+    from .core.crash import GappedPersistentSystem, SecurePersistentSystem
+
+    system = SecurePersistentSystem(get_scheme(args.scheme))
+    for i in range(64):
+        system.store(i, bytes([i]) * 64)
+    report = system.crash()
+    recovery = system.recover()
+    print(
+        f"SecPB ({args.scheme}): drained {report.entries_drained} entries, "
+        f"{report.late_steps_completed} late steps, recovery ok: {recovery.ok}"
+    )
+    gapped = GappedPersistentSystem()
+    for i in range(64):
+        gapped.store(i, bytes([i]) * 64)
+    gapped.crash()
+    failed = len(gapped.recover().failures)
+    print(f"naive gap:     recovery failed for {failed}/64 blocks")
+    return 0
+
+
+def _cmd_workloads(args: argparse.Namespace) -> int:
+    from .core.simulator import SecurePersistencySimulator
+
+    bbb = SecurePersistencySimulator(scheme=None)
+    print(f"{'benchmark':<12} {'stores/ki':>9} {'PPTI':>6} {'NWPE':>6} {'IPC':>5}")
+    for name in all_benchmarks():
+        trace = build_trace(name, args.num_ops, args.seed)
+        result = bbb.run(trace, 0.3)
+        print(
+            f"{name:<12} {trace.stores_per_kilo_instructions:9.1f} "
+            f"{result.stats['ppti']:6.1f} {result.stats['nwpe']:6.1f} "
+            f"{result.ipc:5.2f}"
+        )
+    return 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    print("schemes:     " + ", ".join(SPECTRUM_ORDER))
+    print("experiments: " + ", ".join(sorted(EXPERIMENTS)))
+    print("benchmarks:  " + ", ".join(all_benchmarks()))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SecPB (HPCA 2023) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    experiment = sub.add_parser("experiment", help="regenerate a paper artifact")
+    experiment.add_argument("id", choices=sorted(EXPERIMENTS))
+    experiment.add_argument("--num-ops", type=int, default=20_000)
+    experiment.set_defaults(func=_cmd_experiment)
+
+    simulate = sub.add_parser("simulate", help="run one benchmark/scheme pair")
+    simulate.add_argument("benchmark", choices=all_benchmarks())
+    simulate.add_argument(
+        "--scheme", default="all", choices=["all"] + SPECTRUM_ORDER
+    )
+    simulate.add_argument("--num-ops", type=int, default=20_000)
+    simulate.add_argument("--seed", type=int, default=1)
+    simulate.set_defaults(func=_cmd_simulate)
+
+    advisor = sub.add_parser("advisor", help="scheme choice for a battery budget")
+    advisor.add_argument("budget", type=float, help="battery volume in mm^3")
+    advisor.add_argument(
+        "--technology", choices=["supercap", "li-thin"], default="supercap"
+    )
+    advisor.add_argument(
+        "--store-buffer",
+        action="store_true",
+        help="include a battery-backed store buffer (relaxed consistency)",
+    )
+    advisor.set_defaults(func=_cmd_advisor)
+
+    rectime = sub.add_parser(
+        "recovery-time", help="crash-to-consistency window per scheme"
+    )
+    rectime.add_argument("--entries", type=int, default=32)
+    rectime.set_defaults(func=_cmd_recovery_time)
+
+    multicore = sub.add_parser("multicore", help="multi-core scaling study")
+    multicore.add_argument("--scheme", default="cm", choices=SPECTRUM_ORDER)
+    multicore.add_argument("--num-ops", type=int, default=4000)
+    multicore.add_argument("--share", type=float, default=0.15)
+    multicore.add_argument("--seed", type=int, default=1)
+    multicore.set_defaults(func=_cmd_multicore)
+
+    demo = sub.add_parser("recover-demo", help="crash-recovery walkthrough")
+    demo.add_argument("--scheme", default="cobcm", choices=SPECTRUM_ORDER)
+    demo.set_defaults(func=_cmd_recover_demo)
+
+    workloads = sub.add_parser("workloads", help="profile characterization")
+    workloads.add_argument("--num-ops", type=int, default=20_000)
+    workloads.add_argument("--seed", type=int, default=1)
+    workloads.set_defaults(func=_cmd_workloads)
+
+    lister = sub.add_parser("list", help="available schemes/benchmarks/experiments")
+    lister.set_defaults(func=_cmd_list)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,287 @@
+"""SecPB controller: the FSM that prices security-metadata work.
+
+The controller owns the *timing* of the mechanism in Sec. IV-B: when a
+store enters the SecPB, which eager steps run, how long until the buffer
+raises the **unblocking signal** letting the store buffer send the next
+store, and how expensive a drain is for the memory controller.
+
+Latency structure (per scheme):
+
+* **new-entry stores** pay the scheme's early *value-independent* steps —
+  counter fetch+increment (CTR$ hit or miss), OTP generation (AES), BMT
+  leaf-to-root update (``levels x hash``) — once per residency (Sec. IV-A
+  optimization).  OTP and BMT are independent after the counter and run in
+  parallel; the BMT engine is a single-in-flight resource (Sec. VI-B).
+* **every store** (new or coalesced) pays the early *value-dependent*
+  steps: ciphertext XOR (1 cycle) and MAC (40 cycles) as applicable.
+* **drains** hand the block to the MC, where any late steps execute on the
+  pipelined MC crypto engine — off the store's critical path, but a source
+  of backpressure when drains cannot keep up (COBCM's "backflow").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..security.metadata_cache import MetadataCaches
+from ..sim.config import SystemConfig
+from ..sim.engine import BusyResource
+from ..sim.stats import StatsCollector
+from .schemes import MetadataStep, Scheme
+from .secpb import SecPBEntry
+
+
+@dataclass(frozen=True)
+class TimingCalibration:
+    """Model constants not fixed by Table I.
+
+    These capture microarchitectural effects the paper describes
+    qualitatively; they are the only free parameters of the timing model
+    and are shared across all schemes and baselines (so they cancel in
+    relative comparisons to first order).
+    """
+
+    cpi_base: float = 0.5
+    """Base cycles per non-memory instruction (a ~2-wide core)."""
+
+    load_blocking_fraction: float = 0.35
+    """Fraction of a load's miss latency the OOO window fails to hide."""
+
+    xor_cycles: int = 1
+    """Ciphertext generation: a bitwise XOR (Sec. IV, design CM)."""
+
+    counter_increment_cycles: int = 1
+    """Counter bump once the counter block is at hand."""
+
+    drain_transfer_cycles: int = 2
+    """SecPB read + handoff of one 64 B block toward the WPQ (pipelined)."""
+
+    mc_hash_initiation_cycles: int = 1
+    """Pipelined MC hash engine: initiation interval per SHA operation.
+
+    Post-drain metadata work has no ordering constraint (the observer only
+    sees post-drain state), so the MC engines pipeline deeply; only the
+    initiation interval costs drain bandwidth."""
+
+    mc_aes_initiation_cycles: int = 1
+    """Pipelined MC AES engine: initiation interval per OTP."""
+
+    mac_pipeline_initiation_cycles: int = 24
+    """SecPB-side MAC engine occupancy per *coalesced* store (NoGap).
+
+    The paper's M-vs-NoGap results (e.g. povray's 51.6% improvement from
+    delaying MACs, Sec. VI-B) require NoGap to pay a full MAC per store;
+    MAC generation overlaps with *other entries'* BMT updates (separate
+    engines) but the MAC engine itself is not pipelined."""
+
+    mc_counter_fetch_cycles: int = 2
+    """Counter access on the drain path (prefetched; latency hidden)."""
+
+    secpb_double_access_cycles: int = 2
+    """OBCM's extra SecPB access to check the counter valid bit
+    (Sec. VI-B: 'the SecPB access latency being incurred twice')."""
+
+
+@dataclass
+class StoreTiming:
+    """Latency decomposition of one store's SecPB acceptance."""
+
+    unblock_cycles: float
+    bmt_wait_cycles: float = 0.0
+    counter_miss: bool = False
+
+
+class SecPBController:
+    """Prices eager steps and drains for one scheme under one config.
+
+    Args:
+        config: system configuration (Table I).
+        scheme: the persistency scheme being run.
+        metadata_caches: MC-side CTR$/MAC$/BMT$ model (shared with drains).
+        stats: shared counter sink.
+        bmt_levels_fn: returns the number of hash levels a given page's
+            BMT update must recompute — constant-height by default, or a
+            Merkle-forest hook for the Fig. 9 BMF study.
+        calibration: free timing constants.
+    """
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        scheme: Scheme,
+        metadata_caches: MetadataCaches,
+        stats: Optional[StatsCollector] = None,
+        bmt_levels_fn: Optional[Callable[[int], int]] = None,
+        calibration: Optional[TimingCalibration] = None,
+        value_independent_coalescing: bool = True,
+        bmt_engine: Optional[BusyResource] = None,
+        mac_engine: Optional[BusyResource] = None,
+    ):
+        """``value_independent_coalescing`` enables the Sec. IV-A
+        optimization (counter/OTP/BMT root once per residency).  Disabling
+        it re-runs those steps on *every* store — the naive design the
+        paper argues against — and exists for the ablation study.
+
+        ``bmt_engine``/``mac_engine`` may be injected so multiple cores'
+        controllers contend on the shared MC-side engines (the multi-core
+        simulator does this); by default each controller gets private
+        engines, which is exact for the single-core configuration.
+        """
+        self.config = config
+        self.scheme = scheme
+        self.mdc = metadata_caches
+        self.stats = stats if stats is not None else StatsCollector()
+        self.calibration = calibration if calibration is not None else TimingCalibration()
+        self.value_independent_coalescing = value_independent_coalescing
+        self._bmt_levels_fn = bmt_levels_fn
+        self.bmt_engine = bmt_engine if bmt_engine is not None else BusyResource("bmt-engine")
+        self.mac_engine = mac_engine if mac_engine is not None else BusyResource("mac-engine")
+        self._hash_cycles = config.security.mac_latency_cycles
+        self._aes_cycles = config.security.aes_latency_cycles
+        self._secpb_access = config.secpb.access_cycles
+
+    # Eager path ---------------------------------------------------------
+
+    def _bmt_levels(self, page_index: int) -> int:
+        if self._bmt_levels_fn is not None:
+            return self._bmt_levels_fn(page_index)
+        return self.config.security.bmt_levels
+
+    def price_new_entry(self, now: float, block_addr: int, entry: SecPBEntry) -> StoreTiming:
+        """Latency until the SecPB unblocks after allocating a new entry.
+
+        Runs the scheme's early steps for a first store to a block:
+        value-independent steps once (counter -> {OTP || BMT}), then the
+        value-dependent steps (ciphertext XOR -> MAC).
+
+        The base SecPB array access is pipelined (one store per cycle can
+        stream into the buffer); only the *metadata* work occupies the
+        acceptance path and delays the unblocking signal.
+        """
+        cal = self.calibration
+        scheme = self.scheme
+        latency = 0.0
+        counter_miss = False
+        bmt_wait = 0.0
+
+        counter_ready = latency
+        if scheme.is_early(MetadataStep.COUNTER):
+            ctr_latency = self.mdc.access_counter(block_addr // 64)
+            counter_miss = ctr_latency > self.mdc.config.counter_cache.access_cycles
+            counter_ready = latency + ctr_latency + cal.counter_increment_cycles
+            latency = counter_ready
+            entry.mark(MetadataStep.COUNTER)
+            if not scheme.is_early(MetadataStep.OTP):
+                # OBCM: counter is the only early step, and unblocking the
+                # L1D requires a second SecPB access to check its valid bit.
+                latency += cal.secpb_double_access_cycles
+
+        otp_done = counter_ready
+        if scheme.is_early(MetadataStep.OTP):
+            otp_done = counter_ready + self._aes_cycles
+            entry.mark(MetadataStep.OTP)
+
+        bmt_done = counter_ready
+        if scheme.is_early(MetadataStep.BMT_ROOT):
+            levels = self._bmt_levels(block_addr // 64)
+            service = levels * self._hash_cycles
+            wait, completion = self.bmt_engine.request(now + counter_ready, service)
+            bmt_wait = wait
+            bmt_done = (completion - now)
+            entry.mark(MetadataStep.BMT_ROOT)
+            self.stats.add("bmt.root_updates")
+
+        # OTP and BMT proceed in parallel; both gate the value-dependent tail.
+        latency = max(latency, otp_done, bmt_done)
+
+        if scheme.is_early(MetadataStep.CIPHERTEXT):
+            latency += cal.xor_cycles
+            entry.mark(MetadataStep.CIPHERTEXT)
+
+        if scheme.is_early(MetadataStep.MAC):
+            wait, completion = self.mac_engine.request(now + latency, self._hash_cycles)
+            latency = completion - now
+            entry.mark(MetadataStep.MAC)
+            self.stats.add("mac.generations")
+
+        self.stats.add("secpb.new_entry_cycles", latency)
+        return StoreTiming(latency, bmt_wait, counter_miss)
+
+    def price_coalesced_store(self, now: float, entry: SecPBEntry) -> StoreTiming:
+        """Latency for a store that hit an existing SecPB entry.
+
+        Value-independent metadata is already valid (Sec. IV-A); only the
+        value-dependent early steps re-run.  The base array write is
+        pipelined and does not occupy the acceptance path.
+
+        With the coalescing optimization disabled (ablation), the
+        value-independent steps re-run on every store as well.
+        """
+        cal = self.calibration
+        latency = 0.0
+        if not self.value_independent_coalescing:
+            scheme = self.scheme
+            counter_ready = 0.0
+            if scheme.is_early(MetadataStep.COUNTER):
+                ctr_latency = self.mdc.access_counter(entry.block_addr // 64)
+                counter_ready = ctr_latency + cal.counter_increment_cycles
+            otp_done = counter_ready
+            if scheme.is_early(MetadataStep.OTP):
+                otp_done = counter_ready + self._aes_cycles
+            bmt_done = counter_ready
+            if scheme.is_early(MetadataStep.BMT_ROOT):
+                levels = self._bmt_levels(entry.block_addr // 64)
+                _, completion = self.bmt_engine.request(
+                    now + counter_ready, levels * self._hash_cycles
+                )
+                bmt_done = completion - now
+                self.stats.add("bmt.root_updates")
+            latency = max(counter_ready, otp_done, bmt_done)
+        if self.scheme.is_early(MetadataStep.CIPHERTEXT):
+            latency += cal.xor_cycles
+            entry.mark(MetadataStep.CIPHERTEXT)
+        if self.scheme.is_early(MetadataStep.MAC):
+            # Pipelined: occupy the engine for one initiation interval; the
+            # remaining MAC latency overlaps with younger stores.
+            wait, completion = self.mac_engine.request(
+                now + latency, cal.mac_pipeline_initiation_cycles
+            )
+            latency = completion - now
+            entry.mark(MetadataStep.MAC)
+            self.stats.add("mac.generations")
+        self.stats.add("secpb.coalesced_cycles", latency)
+        return StoreTiming(latency)
+
+    # Drain path -----------------------------------------------------------
+
+    def price_drain(self, block_addr: int) -> float:
+        """MC-side service time for draining one entry (normal operation).
+
+        The block transfer plus any *late* metadata steps, executed on the
+        pipelined MC engines (initiation-interval costs, not full
+        latencies, since drains have no ordering constraint — the observer
+        only sees post-drain state, Sec. III-B).
+        """
+        cal = self.calibration
+        scheme = self.scheme
+        service = float(cal.drain_transfer_cycles)
+        if not scheme.is_early(MetadataStep.COUNTER):
+            # Track cache contents (for stats) but charge the pipelined
+            # fetch cost: drains have no ordering constraint, so misses
+            # overlap with other drain work.
+            self.mdc.access_counter(block_addr // 64)
+            service += cal.mc_counter_fetch_cycles
+            service += cal.counter_increment_cycles
+        if not scheme.is_early(MetadataStep.OTP):
+            service += cal.mc_aes_initiation_cycles
+        if not scheme.is_early(MetadataStep.BMT_ROOT):
+            levels = self._bmt_levels(block_addr // 64)
+            service += levels * cal.mc_hash_initiation_cycles
+            self.stats.add("bmt.root_updates")
+        if not scheme.is_early(MetadataStep.CIPHERTEXT):
+            service += cal.xor_cycles
+        if not scheme.is_early(MetadataStep.MAC):
+            service += cal.mc_hash_initiation_cycles
+            self.stats.add("mac.generations")
+        return service

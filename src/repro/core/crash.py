@@ -1,0 +1,229 @@
+"""Crash injection, battery drain, and sec-sync — the functional system.
+
+:class:`SecurePersistentSystem` is the *functional* (value-accurate)
+counterpart of the timing simulator: stores carry real 64-byte payloads,
+metadata is really computed, and a crash really discards volatile state.
+It demonstrates the paper's central claim end to end:
+
+* **SecPB discipline** — data persists the instant a store enters the
+  battery-backed buffer; on a crash the battery drains every entry and
+  performs the scheme's *late* steps (the sec-sync), after which the
+  recovery observer verifies and decrypts everything successfully.
+* **Naive gap discipline** (:class:`GappedPersistentSystem`) — the
+  recoverability gap of Fig. 1(b): data reaches PM but security metadata
+  sits in volatile caches; a crash loses it and recovery fails.
+
+Both crash policies of Sec. III-B are implemented for application crashes
+(drain-all vs drain-process), and both observation policies (blocking vs
+warning) are honoured via :class:`~repro.core.recovery.RecoveryObserver`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..security.engine import SecureMemory
+from ..security.tuple import TupleComponent, TupleState, audit_observable_state
+from ..sim.config import CACHE_BLOCK_BYTES, SystemConfig
+from ..sim.hierarchy import MemoryHierarchy
+from .recovery import ObserverPolicy, RecoveryObserver, RecoveryReport
+from .schemes import Scheme
+from .secpb import DrainedEntry, SecPB
+
+
+class AppCrashPolicy(enum.Enum):
+    """How an application crash drains the SecPB (Sec. III-B)."""
+
+    DRAIN_ALL = "drain-all"
+    DRAIN_PROCESS = "drain-process"
+
+
+@dataclass
+class CrashReport:
+    """What the battery had to do when the crash hit."""
+
+    entries_drained: int
+    late_steps_completed: int
+    invariants_ok: bool
+    invariant_violation: Optional[str] = None
+
+
+class SecurePersistentSystem:
+    """A functional single-core system: core -> SecPB -> MC -> secure NVM.
+
+    Args:
+        scheme: which SecPB scheme coordinates metadata persistence.
+        config: system configuration (SecPB geometry, watermarks).
+        observer_policy: blocking or warning crash observation.
+    """
+
+    def __init__(
+        self,
+        scheme: Scheme,
+        config: Optional[SystemConfig] = None,
+        observer_policy: ObserverPolicy = ObserverPolicy.BLOCKING,
+    ):
+        self.config = config if config is not None else SystemConfig()
+        self.scheme = scheme
+        self.memory = SecureMemory(atomic=True)
+        self.hierarchy = MemoryHierarchy(self.config)
+        self.secpb = SecPB(self.config.secpb, scheme)
+        self.observer = RecoveryObserver(self.memory, observer_policy)
+        # Ground truth: latest plaintext per block that reached the PoP.
+        self.expected: Dict[int, bytes] = {}
+        # PLP tuple audit trail, in persist order.
+        self._tuples: List[TupleState] = []
+        self._tuple_by_block: Dict[int, TupleState] = {}
+        self._logical_time = 0.0
+        self._crashed = False
+
+    # Store path ------------------------------------------------------------
+
+    def store(self, block_addr: int, data: bytes, asid: int = 0) -> None:
+        """One persistent store of a full 64 B block.
+
+        The store reaches the PoV and PoP the moment it enters the SecPB
+        (persistent hierarchy): from here on, ``data`` must be recoverable
+        after any crash.
+        """
+        if self._crashed:
+            raise RuntimeError("system has crashed; recover or rebuild it")
+        if len(data) != CACHE_BLOCK_BYTES:
+            raise ValueError("stores are block-granular (64 B) in this model")
+        if self.secpb.full and self.secpb.lookup(block_addr) is None:
+            self._drain(1)
+        self.hierarchy.store_access(block_addr << 6, persist_region=True)
+        self.secpb.write(block_addr, plaintext=data, asid=asid)
+        self.expected[block_addr] = bytes(data)
+        self._logical_time += 1.0
+        state = self._tuple_by_block.get(block_addr)
+        if state is None or state.complete:
+            state = TupleState(len(self._tuples), block_addr)
+            self._tuples.append(state)
+            self._tuple_by_block[block_addr] = state
+        if self.secpb.above_high_watermark:
+            self._drain(self.secpb.drain_targets())
+
+    def _drain(self, count: int) -> int:
+        """Drain up to ``count`` oldest entries through the MC tuple update."""
+        drained = 0
+        while drained < count and self.secpb.occupancy:
+            entry = self.secpb.drain_oldest()
+            self._persist_drained(entry)
+            drained += 1
+        return drained
+
+    def _persist_drained(self, entry: DrainedEntry) -> None:
+        """MC completes the memory tuple for a drained entry (steps 5-6)."""
+        if entry.plaintext is None:
+            raise RuntimeError(
+                f"functional drain of block {entry.block_addr:#x} without data"
+            )
+        self.memory.persist_block(entry.block_addr, entry.plaintext)
+        self._logical_time += 1.0
+        state = self._tuple_by_block.get(entry.block_addr)
+        if state is not None and not state.complete:
+            for component in TupleComponent:
+                state.persist(component, self._logical_time)
+
+    def flush(self) -> None:
+        """Drain the whole SecPB (e.g. at a clean shutdown)."""
+        self._drain(self.secpb.occupancy)
+
+    # Crash path ----------------------------------------------------------
+
+    def crash(self) -> CrashReport:
+        """Power loss / system crash: volatile state dies, battery drains.
+
+        The battery covers the draining gap *and* the sec-sync gap: every
+        SecPB entry is drained to the MC, where the scheme's late metadata
+        steps complete, then everything is flushed to PM.
+        """
+        self._crashed = True
+        self.hierarchy.discard_volatile()
+        entries = self.secpb.drain_all()
+        late_steps = len(entries) * len(self.scheme.late_steps)
+        for entry in entries:
+            self._persist_drained(entry)
+        self.hierarchy.mc.flush_wpq()
+        ok, violation = audit_observable_state(
+            [t for t in self._tuples if t.block_addr in self.expected]
+        )
+        return CrashReport(
+            entries_drained=len(entries),
+            late_steps_completed=late_steps,
+            invariants_ok=ok,
+            invariant_violation=violation,
+        )
+
+    def app_crash(
+        self,
+        asid: int,
+        policy: AppCrashPolicy = AppCrashPolicy.DRAIN_ALL,
+    ) -> CrashReport:
+        """Application crash: the process dies but the machine stays up.
+
+        ``DRAIN_ALL`` (the paper's choice) drains every entry regardless of
+        owner; ``DRAIN_PROCESS`` drains only the crashed ASID's entries,
+        preserving other processes' coalescing opportunities.
+        """
+        if policy is AppCrashPolicy.DRAIN_ALL:
+            entries = self.secpb.drain_all()
+        else:
+            entries = self.secpb.drain_process(asid)
+        late_steps = len(entries) * len(self.scheme.late_steps)
+        for entry in entries:
+            self._persist_drained(entry)
+        ok, violation = audit_observable_state(
+            [t for t in self._tuples if t.complete]
+        )
+        return CrashReport(
+            entries_drained=len(entries),
+            late_steps_completed=late_steps,
+            invariants_ok=ok,
+            invariant_violation=violation,
+        )
+
+    # Recovery -------------------------------------------------------------
+
+    def recover(self) -> RecoveryReport:
+        """Run the recovery observer over every persisted block."""
+        gap_open = self.secpb.occupancy > 0
+        return self.observer.observe(self.expected, gap_open=gap_open)
+
+
+class GappedPersistentSystem:
+    """The naive persistent hierarchy of Fig. 1(b): PoP up, SPoP at the MC.
+
+    Data persists through a (plain, insecure) battery-backed buffer, but
+    security metadata is updated only in the MC's volatile caches and
+    written back lazily.  A crash between a data persist and the metadata
+    writeback exposes the recoverability gap: recovery decrypts with stale
+    counters and integrity verification fails.
+    """
+
+    def __init__(self, config: Optional[SystemConfig] = None):
+        self.config = config if config is not None else SystemConfig()
+        self.memory = SecureMemory(atomic=False)
+        self.expected: Dict[int, bytes] = {}
+        self.observer = RecoveryObserver(self.memory, ObserverPolicy.WARNING)
+
+    def store(self, block_addr: int, data: bytes) -> None:
+        """A persistent store: ciphertext reaches PM, metadata stays volatile."""
+        if len(data) != CACHE_BLOCK_BYTES:
+            raise ValueError("stores are block-granular (64 B) in this model")
+        self.memory.persist_block(block_addr, data)
+        self.expected[block_addr] = bytes(data)
+
+    def writeback_metadata(self) -> None:
+        """Metadata-cache writeback: closes the gap *if it happens in time*."""
+        self.memory.writeback_metadata()
+
+    def crash(self) -> None:
+        """Power loss: volatile metadata is gone; only PM survives."""
+        self.memory.crash()
+
+    def recover(self) -> RecoveryReport:
+        return self.observer.observe(self.expected, gap_open=False)

@@ -1,0 +1,311 @@
+"""Multi-core SecPB timing: private buffers, shared MC, migration costs.
+
+The paper's timing evaluation is single-core (Table I); Sec. IV-C only
+*describes* the multi-core protocol — per-core SecPBs, a directory in the
+metadata caches, entry migration on remote writes, flush-on-remote-read —
+and argues that migration is cheap for eager schemes because the
+value-independent metadata travels with the entry.  This module extends
+the reproduction with a timing model of that protocol:
+
+* each core runs its own trace slice with a private SecPB, store buffer
+  and drain path;
+* the BMT and MAC engines are shared (they live at the MC), so cores
+  contend on them — the multi-core scaling cost of eager schemes;
+* a store to a block resident in a *remote* SecPB first migrates the
+  entry: a fixed transit cost plus, for schemes with eager value-dependent
+  steps, the ciphertext/MAC regeneration at the new owner (Sec. IV-C-c);
+* a load hitting a remote SecPB flushes the owner's entry (one drain
+  service) and forwards the data.
+
+Cores advance in lockstep over an interleaved schedule, which is
+deterministic and close enough to a faithful multi-clock interleaving for
+throughput questions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..security.metadata_cache import MetadataCaches
+from ..sim.config import SystemConfig
+from ..sim.engine import BoundedPipeline, BusyResource
+from ..sim.hierarchy import MemoryHierarchy
+from ..sim.stats import StatsCollector
+from ..workloads.trace import Trace
+from .controller import SecPBController, TimingCalibration
+from .schemes import COBCM, MetadataStep, Scheme
+from .secpb import SecPB
+
+
+@dataclass
+class MultiCoreResult:
+    """Outcome of a multi-core run.
+
+    ``cycles`` is the slowest core's finish time (makespan);
+    ``per_core_cycles`` the individual finish times.
+    """
+
+    scheme: str
+    cores: int
+    cycles: float
+    instructions: int
+    per_core_cycles: List[float]
+    stats: Dict[str, float]
+
+    @property
+    def ipc(self) -> float:
+        if self.cycles == 0:
+            return 0.0
+        return self.instructions / self.cycles
+
+
+class _CoreState:
+    """Private per-core machinery."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        scheme: Optional[Scheme],
+        stats: StatsCollector,
+        calibration: TimingCalibration,
+        shared_bmt: BusyResource,
+        shared_mac: BusyResource,
+        mdc: MetadataCaches,
+    ):
+        self.hierarchy = MemoryHierarchy(config, stats)
+        self.secpb = SecPB(config.secpb, scheme if scheme else COBCM, stats)
+        self.store_buffer = BoundedPipeline("sb", config.store_buffer_entries)
+        self.drain_engine = BusyResource("drain")
+        self.drain_completions: List[float] = []
+        self.accept_free_at = 0.0
+        self.clock = 0.0
+        self.instructions = 0
+        if scheme is not None:
+            self.controller: Optional[SecPBController] = SecPBController(
+                config,
+                scheme,
+                mdc,
+                stats,
+                calibration=calibration,
+                bmt_engine=shared_bmt,
+                mac_engine=shared_mac,
+            )
+        else:
+            self.controller = None
+
+
+class MultiCoreSecPBSimulator:
+    """N cores with private SecPBs over a shared memory controller.
+
+    Args:
+        cores: number of cores (one trace per core).
+        scheme: SecPB scheme (None = insecure BBB buffers).
+        config: per-core configuration (SecPB geometry etc.).
+        calibration: shared timing constants.
+    """
+
+    def __init__(
+        self,
+        cores: int,
+        scheme: Optional[Scheme] = None,
+        config: Optional[SystemConfig] = None,
+        calibration: Optional[TimingCalibration] = None,
+    ):
+        if cores < 1:
+            raise ValueError("need at least one core")
+        self.cores = cores
+        self.scheme = scheme
+        self.config = config if config is not None else SystemConfig()
+        self.calibration = (
+            calibration if calibration is not None else TimingCalibration()
+        )
+
+    def run(self, traces: Sequence[Trace]) -> MultiCoreResult:
+        """Run one trace per core; returns the makespan and stats."""
+        if len(traces) != self.cores:
+            raise ValueError(
+                f"expected {self.cores} traces, got {len(traces)}"
+            )
+        config = self.config
+        cal = self.calibration
+        stats = StatsCollector()
+        shared_bmt = BusyResource("shared-bmt")
+        shared_mac = BusyResource("shared-mac")
+        mdc = MetadataCaches(config, stats)
+        cores = [
+            _CoreState(config, self.scheme, stats, cal, shared_bmt, shared_mac, mdc)
+            for _ in range(self.cores)
+        ]
+        owner: Dict[int, int] = {}
+        secure = self.scheme is not None
+        migration_transit = config.l2.access_cycles  # SecPB-to-SecPB hop
+        capacity = config.secpb.entries
+        eager_value_dependent = (
+            secure and bool(self.scheme.eager_value_dependent)
+        )
+
+        iterators = [list(trace.iter_ops()) for trace in traces]
+        lengths = [len(ops) for ops in iterators]
+
+        def start_drains(core_id: int, now: float) -> None:
+            core = cores[core_id]
+            for _ in range(core.secpb.drain_targets()):
+                drained = core.secpb.drain_oldest()
+                owner.pop(drained.block_addr, None)
+                if core.controller is not None:
+                    service = core.controller.price_drain(drained.block_addr)
+                else:
+                    service = float(cal.drain_transfer_cycles)
+                _, completion = core.drain_engine.request(now, service)
+                core.drain_completions.append(completion)
+
+        def effective_occupancy(core: _CoreState, now: float) -> int:
+            alive = [t for t in core.drain_completions if t > now]
+            core.drain_completions[:] = alive
+            return core.secpb.occupancy + len(alive)
+
+        # Lockstep interleave: one op per core per round.
+        max_len = max(lengths)
+        for index in range(max_len):
+            for core_id, ops in enumerate(iterators):
+                if index >= len(ops):
+                    continue
+                core = cores[core_id]
+                is_store, block_addr, gap = ops[index]
+                core.instructions += gap + 1
+                core.clock += gap * cal.cpi_base
+                byte_addr = block_addr << 6
+
+                if not is_store:
+                    remote = owner.get(block_addr)
+                    if remote is not None and remote != core_id:
+                        # Remote read: flush the owner's entry, forward data.
+                        remote_core = cores[remote]
+                        entry = remote_core.secpb.remove(block_addr)
+                        owner.pop(block_addr, None)
+                        if entry is not None:
+                            if remote_core.controller is not None:
+                                service = remote_core.controller.price_drain(block_addr)
+                            else:
+                                service = float(cal.drain_transfer_cycles)
+                            remote_core.drain_engine.request(core.clock, service)
+                            stats.add("coherence.read_flushes")
+                        core.clock += migration_transit
+                    latency = core.hierarchy.load_latency(byte_addr)
+                    l1_hit = config.l1.access_cycles
+                    if latency <= l1_hit:
+                        core.clock += latency
+                    else:
+                        core.clock += l1_hit + cal.load_blocking_fraction * (
+                            latency - l1_hit
+                        )
+                    continue
+
+                core.hierarchy.store_access(byte_addr, persist_region=True)
+                migrated_entry = None
+                remote = owner.get(block_addr)
+                if remote is not None and remote != core_id:
+                    # Remote write: migrate the entry (Sec. IV-C-c).
+                    remote_core = cores[remote]
+                    migrated_entry = remote_core.secpb.remove(block_addr)
+                    owner.pop(block_addr, None)
+                    core.clock += migration_transit
+                    if eager_value_dependent:
+                        # Ciphertext/MAC must be regenerated by the new
+                        # owner; value-independent metadata travelled.
+                        core.clock += cal.xor_cycles
+                    stats.add("coherence.migrations")
+
+                entry = core.secpb.lookup(block_addr)
+                newly_allocated = entry is None
+                if newly_allocated:
+                    while effective_occupancy(core, core.clock) >= capacity:
+                        start_drains(core_id, core.clock)
+                        pending = [
+                            t for t in core.drain_completions if t > core.clock
+                        ]
+                        if not pending:
+                            break
+                        core.clock = min(pending)
+                        stats.add("secpb.backflow_stalls")
+
+                entry, allocated = core.secpb.write(block_addr)
+                if migrated_entry is not None:
+                    # Value-independent metadata arrived with the entry.
+                    for step in (
+                        MetadataStep.COUNTER,
+                        MetadataStep.OTP,
+                        MetadataStep.BMT_ROOT,
+                    ):
+                        if migrated_entry.is_marked(step):
+                            entry.mark(step)
+
+                accept_start = max(core.clock, core.accept_free_at)
+                if core.controller is not None:
+                    if allocated and not entry.is_marked(MetadataStep.COUNTER):
+                        timing = core.controller.price_new_entry(
+                            accept_start, block_addr, entry
+                        )
+                    else:
+                        timing = core.controller.price_coalesced_store(
+                            accept_start, entry
+                        )
+                    service = timing.unblock_cycles
+                else:
+                    service = 0.0
+                completion = accept_start + service
+                core.accept_free_at = completion
+                owner[block_addr] = core_id
+
+                stall = core.store_buffer.push(core.clock, completion)
+                core.clock += stall + 1.0
+
+                if core.secpb.above_high_watermark:
+                    start_drains(core_id, core.clock)
+
+        per_core = [core.clock for core in cores]
+        total_instructions = sum(core.instructions for core in cores)
+        stats.set("instructions", total_instructions)
+        return MultiCoreResult(
+            scheme=self.scheme.name if self.scheme else "bbb",
+            cores=self.cores,
+            cycles=max(per_core),
+            instructions=total_instructions,
+            per_core_cycles=per_core,
+            stats=stats.as_dict(),
+        )
+
+
+def sharing_traces(
+    cores: int,
+    num_ops: int,
+    shared_blocks: int = 256,
+    private_blocks: int = 4096,
+    share_fraction: float = 0.2,
+    store_fraction: float = 0.5,
+    mean_gap: float = 3.0,
+    seed: int = 1,
+) -> List[Trace]:
+    """Per-core traces with a shared hot region (migration generator).
+
+    Each core mostly touches a private region; a ``share_fraction`` of
+    references go to a region common to all cores, producing the remote
+    reads/writes that exercise the coherence protocol.
+    """
+    import numpy as np
+
+    if not 0.0 <= share_fraction <= 1.0:
+        raise ValueError("share_fraction must be in [0, 1]")
+    traces = []
+    for core_id in range(cores):
+        rng = np.random.default_rng(seed + core_id * 1000)
+        shared = rng.random(num_ops) < share_fraction
+        shared_addr = rng.integers(0, shared_blocks, size=num_ops)
+        private_base = shared_blocks + core_id * private_blocks
+        private_addr = private_base + rng.integers(0, private_blocks, size=num_ops)
+        block_addr = np.where(shared, shared_addr, private_addr).astype(np.int64)
+        is_store = rng.random(num_ops) < store_fraction
+        gaps = rng.poisson(mean_gap, size=num_ops).astype(np.int32)
+        traces.append(Trace(f"core{core_id}", is_store, block_addr, gaps))
+    return traces

@@ -1,0 +1,144 @@
+"""Post-crash recovery observer.
+
+After a crash (and after the battery finishes draining + sec-syncing the
+SecPB), the **crash recovery observer** examines persistent memory: for
+every block it decrypts the ciphertext with the durable counter, verifies
+the counter block against the BMT root register, and checks the MAC
+(Sec. III-A).  Recovery *succeeds* when every persisted store's block
+yields its expected plaintext and verification passes.
+
+The observer also enforces the paper's observation discipline: under the
+**blocking** policy it refuses to read state while the sec-sync gap is
+open; under the **warning** policy it reads but flags the result as
+not-yet-consistent.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Mapping
+
+from ..security.engine import RecoveryStatus, SecureMemory
+
+
+class ObserverPolicy(enum.Enum):
+    """What the observer may see while gaps are still being closed."""
+
+    BLOCKING = "blocking"
+    WARNING = "warning"
+
+
+class RecoveryBlocked(Exception):
+    """Blocking policy: state requested before crash consistency reached."""
+
+
+@dataclass
+class BlockVerdict:
+    """Observer verdict for one block."""
+
+    block_addr: int
+    status: RecoveryStatus
+    matches_expected: bool
+
+
+@dataclass
+class RecoveryReport:
+    """Aggregate outcome of a recovery pass.
+
+    Attributes:
+        verdicts: per-block results.
+        consistent_at_read: False when the warning policy let the observer
+            read before the sec-sync gap closed.
+    """
+
+    verdicts: List[BlockVerdict] = field(default_factory=list)
+    consistent_at_read: bool = True
+
+    @property
+    def blocks_checked(self) -> int:
+        return len(self.verdicts)
+
+    @property
+    def failures(self) -> List[BlockVerdict]:
+        return [
+            v
+            for v in self.verdicts
+            if v.status is not RecoveryStatus.OK or not v.matches_expected
+        ]
+
+    @property
+    def ok(self) -> bool:
+        """True when recovery fully succeeded on consistent state."""
+        return self.consistent_at_read and not self.failures
+
+    def failure_summary(self) -> str:
+        """Human-readable digest of what went wrong (empty when ok)."""
+        if self.ok:
+            return ""
+        lines = []
+        if not self.consistent_at_read:
+            lines.append("observed state before crash consistency was reached")
+        for verdict in self.failures[:10]:
+            reason = (
+                verdict.status.value
+                if verdict.status is not RecoveryStatus.OK
+                else "wrong plaintext"
+            )
+            lines.append(f"block {verdict.block_addr:#x}: {reason}")
+        remaining = len(self.failures) - 10
+        if remaining > 0:
+            lines.append(f"... and {remaining} more")
+        return "\n".join(lines)
+
+
+class RecoveryObserver:
+    """Runs the observer checks against a :class:`SecureMemory`.
+
+    Args:
+        memory: the durable state to examine.
+        policy: blocking or warning observation discipline.
+    """
+
+    def __init__(
+        self,
+        memory: SecureMemory,
+        policy: ObserverPolicy = ObserverPolicy.BLOCKING,
+    ):
+        self.memory = memory
+        self.policy = policy
+
+    def observe(
+        self,
+        expected: Mapping[int, bytes],
+        gap_open: bool = False,
+    ) -> RecoveryReport:
+        """Examine persistent state and compare against expected plaintexts.
+
+        Args:
+            expected: block address -> plaintext the persistency model says
+                must be recoverable (every store that reached the PoP).
+            gap_open: True while the draining/sec-sync gaps are not yet
+                closed (the system passes this in).
+
+        Raises:
+            RecoveryBlocked: blocking policy and ``gap_open``.
+        """
+        if gap_open:
+            if self.policy is ObserverPolicy.BLOCKING:
+                raise RecoveryBlocked(
+                    "crash observer blocked: draining/sec-sync gap still open"
+                )
+            report = RecoveryReport(consistent_at_read=False)
+        else:
+            report = RecoveryReport()
+
+        for block_addr in sorted(expected):
+            recovered = self.memory.recover_block(block_addr)
+            matches = (
+                recovered.ok and recovered.plaintext == expected[block_addr]
+            )
+            report.verdicts.append(
+                BlockVerdict(block_addr, recovered.status, matches)
+            )
+        return report

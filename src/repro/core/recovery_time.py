@@ -1,0 +1,91 @@
+"""Crash-to-consistency time: how long the observer waits (Sec. III-B).
+
+The blocking/warning policies exist because closing the draining and
+sec-sync gaps takes time after a crash.  This model estimates that time
+per scheme: the battery must drain every SecPB entry to PM and complete
+the scheme's *late* metadata steps, under the same worst-case assumptions
+as the battery-energy model (all metadata-cache misses, no shared BMT
+paths).  Lazy schemes trade runtime overhead for a longer post-crash
+window — the third axis of the design space, alongside performance and
+battery volume.
+
+All latencies are processor cycles from Table I; results are reported in
+cycles and microseconds at the configured clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..sim.config import SystemConfig
+from .schemes import MetadataStep, Scheme
+
+
+@dataclass(frozen=True)
+class RecoveryTimeEstimate:
+    """Worst-case crash-to-consistency time for one configuration."""
+
+    scheme: str
+    entries: int
+    per_entry_cycles: float
+    total_cycles: float
+    total_us: float
+
+
+def per_entry_drain_cycles(
+    scheme: Scheme, config: Optional[SystemConfig] = None
+) -> float:
+    """Worst-case cycles to fully persist one SecPB entry post-crash.
+
+    Counts the NVM write for the data, a PM fetch for the counter when it
+    is late (metadata caches assumed cold), OTP generation, the BMT
+    leaf-to-root update including node fetches from PM, and the MAC —
+    each only when the scheme deferred it.
+    """
+    config = config if config is not None else SystemConfig()
+    security = config.security
+    nvm_read = config.nvm_read_cycles
+    nvm_write = config.nvm_write_cycles
+
+    cycles = float(nvm_write)  # the data block itself
+    if not scheme.is_early(MetadataStep.COUNTER):
+        cycles += nvm_read + 1  # fetch counter block, increment
+    if not scheme.is_early(MetadataStep.OTP):
+        cycles += security.aes_latency_cycles
+    if not scheme.is_early(MetadataStep.BMT_ROOT):
+        cycles += security.bmt_levels * (nvm_read + security.mac_latency_cycles)
+    if not scheme.is_early(MetadataStep.MAC):
+        cycles += security.mac_latency_cycles
+    # Updated metadata (counter block, MAC) must reach PM too.
+    cycles += nvm_write
+    return cycles
+
+
+def estimate_recovery_time(
+    scheme: Scheme, config: Optional[SystemConfig] = None
+) -> RecoveryTimeEstimate:
+    """Worst-case crash-to-consistency estimate for a full SecPB."""
+    config = config if config is not None else SystemConfig()
+    per_entry = per_entry_drain_cycles(scheme, config)
+    total = per_entry * config.secpb.entries
+    return RecoveryTimeEstimate(
+        scheme=scheme.name,
+        entries=config.secpb.entries,
+        per_entry_cycles=per_entry,
+        total_cycles=total,
+        total_us=total / (config.clock_ghz * 1000.0),
+    )
+
+
+def recovery_time_table(
+    config: Optional[SystemConfig] = None,
+) -> Dict[str, RecoveryTimeEstimate]:
+    """Crash-to-consistency estimates for the whole spectrum."""
+    from .schemes import SCHEMES, SPECTRUM_ORDER
+
+    config = config if config is not None else SystemConfig()
+    return {
+        name: estimate_recovery_time(SCHEMES[name], config)
+        for name in SPECTRUM_ORDER
+    }

@@ -1,0 +1,266 @@
+"""The trace-driven secure-persistency timing simulator.
+
+:class:`SecurePersistencySimulator` runs a memory-reference trace through a
+core + SecPB + cache hierarchy + memory-controller model and reports
+cycles, IPC and the paper's diagnostic statistics (PPTI, NWPE, BMT root
+updates).
+
+Timing model (validated against the paper's own analytic check in
+Sec. VI-B):
+
+* the core retires non-memory instructions at ``1 / cpi_base`` IPC;
+* loads charge their hierarchy latency, discounted by the fraction an OOO
+  window hides;
+* stores enter the L1D and SecPB in parallel.  SecPB acceptance is
+  *serialized*: the buffer accepts the next store only after raising the
+  unblocking signal for the previous one, i.e. after the scheme's early
+  metadata steps complete (:class:`~repro.core.controller.SecPBController`).
+  The core itself only stalls when the store buffer fills — short bursts
+  are absorbed, sustained rates are throughput-limited by the acceptance
+  service rate, which is exactly how the eager schemes lose performance;
+* the SecPB drains to the MC at the high watermark until the low
+  watermark.  A draining entry frees its slot only when the MC finishes
+  its (late-step) service, so lazy schemes can fill the buffer and stall
+  new allocations — the "backflow" the paper reports for COBCM.
+
+Passing ``scheme=None`` runs the insecure BBB baseline [4]: same buffer,
+same watermarks, no security metadata anywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from ..security.metadata_cache import MetadataCaches
+from ..sim.config import SystemConfig
+from ..sim.engine import BoundedPipeline, BusyResource
+from ..sim.hierarchy import MemoryHierarchy
+from ..sim.stats import SimulationResult, StatsCollector
+from ..workloads.trace import Trace
+from .controller import SecPBController, TimingCalibration
+from .schemes import Scheme
+from .secpb import SecPB
+
+BBB_SCHEME_NAME = "bbb"
+
+
+class SecurePersistencySimulator:
+    """One configured (scheme, system) pair, runnable over traces.
+
+    Args:
+        config: Table I system configuration.
+        scheme: one of the six SecPB schemes, or ``None`` for the insecure
+            BBB baseline.
+        calibration: free timing constants (shared across schemes).
+        bmt_levels_fn: optional per-page BMT update height (the BMF hook
+            for the Fig. 9 study).
+    """
+
+    def __init__(
+        self,
+        config: Optional[SystemConfig] = None,
+        scheme: Optional[Scheme] = None,
+        calibration: Optional[TimingCalibration] = None,
+        bmt_levels_fn: Optional[Callable[[int], int]] = None,
+        value_independent_coalescing: bool = True,
+    ):
+        self.config = config if config is not None else SystemConfig()
+        self.scheme = scheme
+        self.calibration = calibration if calibration is not None else TimingCalibration()
+        self.value_independent_coalescing = value_independent_coalescing
+        self._bmt_levels_fn = bmt_levels_fn
+
+    @property
+    def scheme_name(self) -> str:
+        return self.scheme.name if self.scheme is not None else BBB_SCHEME_NAME
+
+    def run(self, trace: Trace, warmup_frac: float = 0.0) -> SimulationResult:
+        """Simulate one trace; returns timing and statistics.
+
+        Args:
+            trace: the memory-reference trace.
+            warmup_frac: fraction of the trace treated as warmup — state
+                (caches, SecPB, metadata caches) is built but its cycles
+                and instructions are excluded from the reported result,
+                mirroring the paper's fast-forward to representative
+                regions.
+        """
+        if not 0.0 <= warmup_frac < 1.0:
+            raise ValueError("warmup_frac must be in [0, 1)")
+        config = self.config
+        cal = self.calibration
+        stats = StatsCollector()
+        hierarchy = MemoryHierarchy(config, stats)
+        secure = self.scheme is not None
+
+        if secure:
+            mdc = MetadataCaches(config, stats)
+            controller = SecPBController(
+                config,
+                self.scheme,
+                mdc,
+                stats,
+                bmt_levels_fn=self._bmt_levels_fn,
+                calibration=cal,
+                value_independent_coalescing=self.value_independent_coalescing,
+            )
+            secpb = SecPB(config.secpb, self.scheme, stats)
+        else:
+            controller = None
+            # The BBB persist buffer has the same geometry, no metadata.
+            from .schemes import COBCM  # structure-only; fields unused
+
+            secpb = SecPB(config.secpb, COBCM, stats)
+
+        clock = 0.0
+        instructions = 0
+        store_buffer = BoundedPipeline("store-buffer", config.store_buffer_entries)
+        drain_engine = BusyResource("drain-engine")
+        accept_free_at = 0.0  # SecPB acceptance serialization point
+        drain_completions: List[float] = []
+        capacity = config.secpb.entries
+
+        l1_hit_cycles = config.l1.access_cycles
+        cpi_base = cal.cpi_base
+        blocking = cal.load_blocking_fraction
+        drain_transfer = float(cal.drain_transfer_cycles)
+        # Speculative integrity verification (Table I / PoisonIvy [33])
+        # hides load-side verification entirely; without it, PM fills pay
+        # OTP regeneration + MAC check before use.
+        if secure and not config.security.speculative_verification:
+            verify_load_cycles = (
+                config.security.aes_latency_cycles
+                + config.security.mac_latency_cycles
+            )
+        else:
+            verify_load_cycles = 0
+        memory_fill_cycles = config.memory_round_trip_cycles
+
+        def effective_occupancy(now: float) -> int:
+            """Structure occupancy plus slots still held by in-flight drains."""
+            if drain_completions:
+                # Prune finished drains (kept sorted enough by appending).
+                alive = [t for t in drain_completions if t > now]
+                if len(alive) != len(drain_completions):
+                    drain_completions[:] = alive
+            return secpb.occupancy + len(drain_completions)
+
+        def start_drains(now: float) -> None:
+            """Watermark policy: drain oldest entries down to the low mark."""
+            targets = secpb.drain_targets()
+            for _ in range(targets):
+                drained = secpb.drain_oldest()
+                if controller is not None:
+                    service = controller.price_drain(drained.block_addr)
+                else:
+                    service = drain_transfer
+                _, completion = drain_engine.request(now, service)
+                drain_completions.append(completion)
+                stats.add("drain.services")
+
+        warmup_ops = int(len(trace) * warmup_frac)
+        warmup_clock = 0.0
+        warmup_instructions = 0
+        op_index = 0
+
+        for is_store, block_addr, gap in trace.iter_ops():
+            if op_index == warmup_ops and warmup_ops:
+                warmup_clock = clock
+                warmup_instructions = instructions
+            op_index += 1
+            instructions += gap + 1
+            clock += gap * cpi_base
+
+            byte_addr = block_addr << 6
+
+            if not is_store:
+                latency = hierarchy.load_latency(byte_addr)
+                if latency >= memory_fill_cycles and verify_load_cycles:
+                    # Non-speculative integrity verification (ablation of
+                    # the Table I assumption): data fetched from PM cannot
+                    # be used until its counter is fetched, the OTP is
+                    # regenerated and the MAC checked.
+                    latency += mdc.access_counter(block_addr // 64)
+                    latency += verify_load_cycles
+                    stats.add("verify.load_verifications")
+                if latency <= l1_hit_cycles:
+                    clock += latency
+                else:
+                    clock += l1_hit_cycles + blocking * (latency - l1_hit_cycles)
+                continue
+
+            # Store path: L1D and SecPB accessed in parallel (Sec. IV-B).
+            hierarchy.store_access(byte_addr, persist_region=True)
+
+            entry = secpb.lookup(block_addr)
+            newly_allocated = entry is None
+
+            if newly_allocated:
+                # Backflow: a physical slot frees only when its drain
+                # completes at the MC; a full buffer stalls the allocation
+                # (the COBCM-class overhead of Sec. VI-A).
+                while effective_occupancy(clock) >= capacity:
+                    start_drains(clock)
+                    pending = [t for t in drain_completions if t > clock]
+                    if not pending:
+                        break
+                    release = min(pending)
+                    stats.add("secpb.backflow_stalls")
+                    stats.add("secpb.backflow_cycles", release - clock)
+                    clock = release
+
+            entry, allocated = secpb.write(block_addr)
+
+            accept_start = max(clock, accept_free_at)
+            if controller is not None:
+                if allocated:
+                    timing = controller.price_new_entry(accept_start, block_addr, entry)
+                else:
+                    timing = controller.price_coalesced_store(accept_start, entry)
+                service = timing.unblock_cycles
+            else:
+                # Insecure BBB: the pipelined buffer write has no
+                # metadata work, so acceptance never serializes.
+                service = 0.0
+            completion = accept_start + service
+            accept_free_at = completion
+
+            # The core stalls only when the store buffer is full.
+            stall = store_buffer.push(clock, completion)
+            clock += stall + 1.0  # one issue slot per store
+
+            if secpb.above_high_watermark:
+                start_drains(clock)
+
+        # Account the final drain tail: execution "ends" when the core is
+        # done; outstanding drains continue on the battery-less normal path
+        # and do not extend execution time.
+        stats.set("instructions", instructions)
+        stats.set("secpb.final_occupancy", secpb.occupancy)
+        result = SimulationResult(
+            scheme=self.scheme_name,
+            benchmark=trace.name,
+            cycles=clock - warmup_clock,
+            instructions=instructions - warmup_instructions,
+            stats=stats.as_dict(),
+        )
+        result.stats["ppti"] = stats.ppti
+        result.stats["nwpe"] = stats.nwpe
+        return result
+
+
+def run_scheme(
+    trace: Trace,
+    scheme: Optional[Scheme],
+    config: Optional[SystemConfig] = None,
+    calibration: Optional[TimingCalibration] = None,
+    bmt_levels_fn: Optional[Callable[[int], int]] = None,
+) -> SimulationResult:
+    """Convenience one-shot: simulate ``trace`` under ``scheme``."""
+    simulator = SecurePersistencySimulator(
+        config=config,
+        scheme=scheme,
+        calibration=calibration,
+        bmt_levels_fn=bmt_levels_fn,
+    )
+    return simulator.run(trace)

@@ -1,0 +1,54 @@
+"""Energy and battery-capacity models (Table III, V, VI) and the
+battery-budget advisor."""
+
+from .advisor import (
+    Recommendation,
+    SchemeFit,
+    recommend,
+    scheme_requirement_mm3,
+    store_buffer_drain_energy_nj,
+)
+from .battery import (
+    BatteryEstimate,
+    bbb_drain_energy_nj,
+    entry_field_moves,
+    entry_late_work,
+    estimate_bbb,
+    estimate_scheme,
+    full_tuple_energy,
+    secpb_drain_energy_nj,
+    size_sweep,
+)
+from .costs import (
+    CORE_AREA_MM2,
+    LI_THIN,
+    NJ_PER_WH,
+    SUPERCAP,
+    BatteryTechnology,
+    EnergyCosts,
+    footprint_ratio_pct,
+)
+
+__all__ = [
+    "Recommendation",
+    "SchemeFit",
+    "recommend",
+    "scheme_requirement_mm3",
+    "store_buffer_drain_energy_nj",
+    "BatteryEstimate",
+    "BatteryTechnology",
+    "CORE_AREA_MM2",
+    "EnergyCosts",
+    "LI_THIN",
+    "NJ_PER_WH",
+    "SUPERCAP",
+    "bbb_drain_energy_nj",
+    "entry_field_moves",
+    "entry_late_work",
+    "estimate_bbb",
+    "estimate_scheme",
+    "footprint_ratio_pct",
+    "full_tuple_energy",
+    "secpb_drain_energy_nj",
+    "size_sweep",
+]

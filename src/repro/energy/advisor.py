@@ -1,0 +1,122 @@
+"""Battery-budget advisor: pick a scheme under a form-factor constraint.
+
+The paper's conclusion frames scheme choice as a budget problem: "the best
+solution in the performance-battery size trade off space depends on the
+cost and form factor limitations for the supercap/battery" (Sec. VI-C).
+This module operationalizes that: given a battery-volume budget and a
+technology, it reports which schemes fit and recommends the
+fastest-affordable one (schemes ordered by the paper's Table IV ranking,
+laziest = fastest).
+
+Also accounts for the Sec. IV-C-b note that strict persistency under
+relaxed memory consistency requires a battery-backed store buffer: pass
+``include_store_buffer=True`` to add its (small) drain energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..core.schemes import SPECTRUM_ORDER, Scheme, get_scheme
+from ..sim.config import SystemConfig
+from .battery import secpb_drain_energy_nj
+from .costs import SUPERCAP, BatteryTechnology, EnergyCosts
+
+
+@dataclass(frozen=True)
+class SchemeFit:
+    """One scheme's battery requirement against a budget."""
+
+    scheme: str
+    required_mm3: float
+    fits: bool
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """Outcome of a budget query."""
+
+    budget_mm3: float
+    technology: str
+    fits: List[SchemeFit]
+    best: Optional[str]
+
+    def __str__(self) -> str:
+        lines = [
+            f"budget {self.budget_mm3:.2f} mm^3 ({self.technology}):",
+        ]
+        for fit in self.fits:
+            marker = "fits" if fit.fits else "too big"
+            lines.append(
+                f"  {fit.scheme:<6} needs {fit.required_mm3:8.2f} mm^3  [{marker}]"
+            )
+        lines.append(
+            f"  -> recommended: {self.best}"
+            if self.best
+            else "  -> no scheme fits this budget"
+        )
+        return "\n".join(lines)
+
+
+def store_buffer_drain_energy_nj(
+    config: Optional[SystemConfig] = None,
+    costs: Optional[EnergyCosts] = None,
+) -> float:
+    """Battery energy to drain a battery-backed core store buffer.
+
+    Sec. IV-C-b: strict persistency under relaxed consistency models needs
+    the store buffer in the battery domain too; each entry is one block
+    move to the SecPB/PM path.
+    """
+    config = config if config is not None else SystemConfig()
+    costs = costs if costs is not None else EnergyCosts()
+    return config.store_buffer_entries * costs.move_secpb_block_nj
+
+
+def scheme_requirement_mm3(
+    scheme: Scheme,
+    technology: BatteryTechnology = SUPERCAP,
+    config: Optional[SystemConfig] = None,
+    include_store_buffer: bool = False,
+) -> float:
+    """Battery volume one scheme needs under a technology."""
+    energy = secpb_drain_energy_nj(scheme, config)
+    if include_store_buffer:
+        energy += store_buffer_drain_energy_nj(config)
+    return technology.volume_mm3(energy)
+
+
+def recommend(
+    budget_mm3: float,
+    technology: BatteryTechnology = SUPERCAP,
+    config: Optional[SystemConfig] = None,
+    include_store_buffer: bool = False,
+) -> Recommendation:
+    """Which schemes fit a battery budget, and which to pick.
+
+    The recommendation is the laziest (fastest) scheme whose worst-case
+    drain energy fits the budget; the paper's Table IV ordering makes
+    laziness a faithful performance proxy.
+
+    Raises:
+        ValueError: for a non-positive budget.
+    """
+    if budget_mm3 <= 0:
+        raise ValueError("battery budget must be positive")
+    fits: List[SchemeFit] = []
+    best: Optional[str] = None
+    for name in SPECTRUM_ORDER:  # laziest (fastest) first
+        required = scheme_requirement_mm3(
+            get_scheme(name), technology, config, include_store_buffer
+        )
+        affordable = required <= budget_mm3
+        fits.append(SchemeFit(name, required, affordable))
+        if affordable and best is None:
+            best = name
+    return Recommendation(
+        budget_mm3=budget_mm3,
+        technology=technology.name,
+        fits=fits,
+        best=best,
+    )

@@ -1,0 +1,92 @@
+"""Energy-cost constants (Table III) and battery-technology parameters.
+
+All movement/generation costs are per *byte*; helpers give per-64B-block
+values.  Battery energy densities follow the paper's Sec. V-B: supercaps
+at 1e-4 Wh and lithium thin-film at 1e-2 Wh (per cm^3 — the density that
+makes the paper's own eADR figure, 149.32 mm^3, come out exactly from the
+Table III movement costs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim.config import CACHE_BLOCK_BYTES
+
+NJ_PER_WH = 3.6e12
+"""Nanojoules per watt-hour."""
+
+
+@dataclass(frozen=True)
+class EnergyCosts:
+    """Table III energy costs, in nanojoules per byte."""
+
+    sram_access_nj: float = 0.001  # 1 pJ / byte
+    move_secpb_to_pm_nj: float = 11.839
+    move_l1_to_pm_nj: float = 11.839
+    move_l2_to_pm_nj: float = 11.228
+    move_l3_to_pm_nj: float = 11.228
+    move_mc_to_pm_nj: float = 11.228
+    sha512_nj: float = 79.29  # BMT node / MAC computation
+    aes192_nj: float = 30.0  # OTP generation
+
+    # Per-block (64 B) conveniences -------------------------------------
+
+    def block(self, per_byte_nj: float) -> float:
+        """Per-64B-block energy for a per-byte cost."""
+        return per_byte_nj * CACHE_BLOCK_BYTES
+
+    @property
+    def move_secpb_block_nj(self) -> float:
+        """Move one 64 B block (or SecPB field) from SecPB to PM."""
+        return self.block(self.move_secpb_to_pm_nj)
+
+    @property
+    def move_pm_block_nj(self) -> float:
+        """Move one 64 B block between PM and the MC (fetch or writeback)."""
+        return self.block(self.move_mc_to_pm_nj)
+
+    @property
+    def sha_block_nj(self) -> float:
+        """One SHA-512 over a 64 B block (BMT node hash or MAC)."""
+        return self.block(self.sha512_nj)
+
+    @property
+    def aes_block_nj(self) -> float:
+        """AES OTP generation for one 64 B block."""
+        return self.block(self.aes192_nj)
+
+
+@dataclass(frozen=True)
+class BatteryTechnology:
+    """An energy-source technology with a volumetric energy density."""
+
+    name: str
+    density_wh_per_cm3: float
+
+    def volume_mm3(self, energy_nj: float) -> float:
+        """Battery volume (mm^3) required to hold ``energy_nj``."""
+        if energy_nj < 0:
+            raise ValueError("energy must be non-negative")
+        wh = energy_nj / NJ_PER_WH
+        cm3 = wh / self.density_wh_per_cm3
+        return cm3 * 1000.0
+
+
+SUPERCAP = BatteryTechnology("SuperCap", 1e-4)
+LI_THIN = BatteryTechnology("Li-Thin", 1e-2)
+
+CORE_AREA_MM2 = 5.37
+"""Footprint of a client-class core (paper Sec. VI-B, refs [1], [2])."""
+
+
+def footprint_ratio_pct(volume_mm3: float, core_area_mm2: float = CORE_AREA_MM2) -> float:
+    """Battery footprint as a percentage of core area.
+
+    The paper assumes a cubic battery and takes the footprint as the face
+    area, ``volume ** (2/3)``.
+    """
+    if volume_mm3 < 0:
+        raise ValueError("volume must be non-negative")
+    footprint_mm2 = volume_mm3 ** (2.0 / 3.0)
+    return 100.0 * footprint_mm2 / core_area_mm2

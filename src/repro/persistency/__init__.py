@@ -1,0 +1,6 @@
+"""Persistency-model substrate: flush/fence persistency on traditional
+hierarchies (strict and epoch), for contrast with persistent hierarchies."""
+
+from .flush import FlushBasedSimulator, PersistencyModel
+
+__all__ = ["FlushBasedSimulator", "PersistencyModel"]

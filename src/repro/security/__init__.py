@@ -1,0 +1,78 @@
+"""Security substrate: encryption, integrity verification, metadata caches.
+
+Implements the mechanisms of paper Sec. II-B — split counter-mode
+encryption, per-block MACs, a Bonsai Merkle Tree with on-chip root, Bonsai
+Merkle Forests (DBMF/SBMF), the memory-controller metadata caches, and the
+PLP memory-tuple invariants — plus the functional :class:`SecureMemory`
+used by the crash-recovery machinery.
+"""
+
+from .bmf import (
+    ForestTimingModel,
+    ForestUpdateResult,
+    MerkleForest,
+    RootCache,
+    make_dbmf,
+    make_sbmf,
+)
+from .bmt import BonsaiMerkleTree, PathNode
+from .counter_tree import CounterNode, SgxCounterTree
+from .counters import (
+    MINOR_BITS,
+    MINOR_COUNTERS_PER_PAGE,
+    MINOR_LIMIT,
+    CounterBlock,
+    CounterStore,
+)
+from .engine import CryptoEngine, RecoveredBlock, RecoveryStatus, SecureMemory
+from .mac import MacEngine, MacRecord, MacStore
+from .metadata_cache import MetadataCaches
+from .otp import OneTimePad, OTPEngine
+from .prf import keyed_hash, prf, xor_bytes
+from .tuple import (
+    ALL_COMPONENTS,
+    InvariantViolation,
+    TupleComponent,
+    TupleState,
+    audit_observable_state,
+    check_atomicity,
+    check_persist_order,
+)
+
+__all__ = [
+    "ALL_COMPONENTS",
+    "BonsaiMerkleTree",
+    "CounterBlock",
+    "CounterNode",
+    "CounterStore",
+    "CryptoEngine",
+    "ForestTimingModel",
+    "ForestUpdateResult",
+    "InvariantViolation",
+    "MINOR_BITS",
+    "MINOR_COUNTERS_PER_PAGE",
+    "MINOR_LIMIT",
+    "MacEngine",
+    "MacRecord",
+    "MacStore",
+    "MerkleForest",
+    "MetadataCaches",
+    "OTPEngine",
+    "OneTimePad",
+    "PathNode",
+    "RecoveredBlock",
+    "RecoveryStatus",
+    "RootCache",
+    "SgxCounterTree",
+    "SecureMemory",
+    "TupleComponent",
+    "TupleState",
+    "audit_observable_state",
+    "check_atomicity",
+    "check_persist_order",
+    "keyed_hash",
+    "make_dbmf",
+    "make_sbmf",
+    "prf",
+    "xor_bytes",
+]

@@ -1,0 +1,177 @@
+"""SGX-style counter tree — the alternative integrity structure.
+
+The paper's background (Sec. II-B) lists SGX counter trees [5], [15]
+alongside Bonsai Merkle Trees.  Where a BMT node stores a *hash* of its
+children, a counter-tree node stores a small *counter per child* plus a
+MAC over the node's counters keyed by the node's own counter in its
+parent — so an update increments one counter per level and recomputes one
+MAC per level, and verification walks a single path without fetching
+sibling hashes.
+
+Trade-offs vs the BMT (exposed by the comparison benchmark):
+
+* verification touches ``height`` nodes instead of ``height x arity``
+  child digests — fewer metadata fetches;
+* every update dirties counters on the whole path, so counter-tree nodes
+  overflow and need re-MACing epochs (modelled via per-node counter
+  width), where BMT nodes never overflow.
+
+Functionally this tree protects the same leaves (counter blocks) and
+anchors freshness in an on-chip root counter+MAC register.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from .prf import keyed_hash
+
+
+@dataclass
+class CounterNode:
+    """One counter-tree node: a counter per child + a MAC."""
+
+    counters: List[int]
+    mac: bytes = b""
+
+
+class SgxCounterTree:
+    """Fixed-height counter tree over leaf payloads.
+
+    Level 0 holds leaf MACs (over the payload, keyed by the leaf's counter
+    in its parent); interior levels hold counter nodes.  The root node's
+    MAC is keyed by an on-chip register counter, which increments on every
+    update — replaying any stale node fails its parent-keyed MAC.
+
+    Args:
+        key: MAC key.
+        height: levels of counter nodes above the leaves.
+        arity: children per node.
+        counter_bits: per-child counter width; overflow forces a node
+            "re-epoch" (all child MACs recomputed), counted in
+            ``reepochs`` the way split-counter overflows are.
+    """
+
+    def __init__(
+        self, key: bytes, height: int = 8, arity: int = 8, counter_bits: int = 56
+    ):
+        if height < 1:
+            raise ValueError("counter tree height must be >= 1")
+        if arity < 2:
+            raise ValueError("counter tree arity must be >= 2")
+        self._key = key
+        self.height = height
+        self.arity = arity
+        self.capacity = arity**height
+        self._counter_limit = (1 << counter_bits) - 1
+        # (level, index) -> CounterNode; level 1..height (leaves are MACs).
+        self._nodes: Dict[Tuple[int, int], CounterNode] = {}
+        self._leaf_macs: Dict[int, bytes] = {}
+        self.root_counter = 0  # on-chip register
+        self.updates = 0
+        self.reepochs = 0
+
+    # Internals ------------------------------------------------------------
+
+    def _node(self, level: int, index: int) -> CounterNode:
+        node = self._nodes.get((level, index))
+        if node is None:
+            node = CounterNode([0] * self.arity)
+            self._nodes[(level, index)] = node
+        return node
+
+    def _parent_counter(self, level: int, index: int) -> int:
+        """The counter that keys node (level, index)'s MAC."""
+        if level == self.height:
+            return self.root_counter
+        parent = self._node(level + 1, index // self.arity)
+        return parent.counters[index % self.arity]
+
+    def _node_mac(self, level: int, index: int, node: CounterNode) -> bytes:
+        return keyed_hash(
+            self._key,
+            b"ctr-node",
+            level,
+            index,
+            self._parent_counter(level, index),
+            *node.counters,
+        )
+
+    def _leaf_mac(self, leaf_index: int, payload: bytes) -> bytes:
+        parent = self._node(1, leaf_index // self.arity)
+        counter = parent.counters[leaf_index % self.arity]
+        return keyed_hash(self._key, b"ctr-leaf", leaf_index, counter, payload)
+
+    # Updates --------------------------------------------------------------
+
+    def update_leaf(self, leaf_index: int, payload: bytes) -> int:
+        """Install a new leaf payload; returns nodes re-MACed (height+1).
+
+        Increments one counter per level (leaf's slot in its parent, the
+        parent's slot in the grandparent, ..., the root register) and
+        recomputes the MAC of every node on the path.
+        """
+        if not 0 <= leaf_index < self.capacity:
+            raise IndexError(f"leaf {leaf_index} outside capacity {self.capacity}")
+        # Bump counters bottom-up first (MACs depend on parent counters).
+        index = leaf_index
+        for level in range(1, self.height + 1):
+            node = self._node(level, index // self.arity)
+            slot = index % self.arity
+            node.counters[slot] += 1
+            if node.counters[slot] > self._counter_limit:
+                node.counters = [0] * self.arity
+                node.counters[slot] = 1
+                self.reepochs += 1
+            index //= self.arity
+        self.root_counter += 1
+
+        # Re-MAC the path top-down (each MAC keyed by the fresh parent).
+        self._leaf_macs[leaf_index] = self._leaf_mac(leaf_index, payload)
+        index = leaf_index // self.arity
+        macs = 1
+        for level in range(1, self.height + 1):
+            node = self._node(level, index)
+            node.mac = self._node_mac(level, index, node)
+            macs += 1
+            index //= self.arity
+        self.updates += 1
+        return macs
+
+    # Verification ------------------------------------------------------------
+
+    def verify_leaf(self, leaf_index: int, payload: bytes) -> bool:
+        """Walk leaf -> root checking one MAC per level.
+
+        Unlike the BMT, no sibling digests are read: each check uses the
+        node's own counters and its counter in the parent.
+        """
+        if not 0 <= leaf_index < self.capacity:
+            raise IndexError(f"leaf {leaf_index} outside capacity {self.capacity}")
+        stored = self._leaf_macs.get(leaf_index)
+        if stored is None or stored != self._leaf_mac(leaf_index, payload):
+            return False
+        index = leaf_index // self.arity
+        for level in range(1, self.height + 1):
+            node = self._nodes.get((level, index))
+            if node is None or node.mac != self._node_mac(level, index, node):
+                return False
+            index //= self.arity
+        return True
+
+    # Cost accounting (for the comparison benchmark) -----------------------
+
+    def verify_fetches(self) -> int:
+        """Metadata items fetched per verification: one node per level."""
+        return self.height + 1
+
+    # Attack-model helpers ---------------------------------------------------
+
+    def rollback_node(self, level: int, index: int, node: CounterNode) -> None:
+        """Adversarially replace a node (replay attack for tests)."""
+        self._nodes[(level, index)] = node
+
+    def snapshot_node(self, level: int, index: int) -> CounterNode:
+        node = self._node(level, index)
+        return CounterNode(list(node.counters), node.mac)

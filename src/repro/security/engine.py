@@ -1,0 +1,266 @@
+"""The memory-controller crypto engine and the functional secure memory.
+
+:class:`CryptoEngine` bundles the mechanisms of Sec. II-B — counter-mode
+(OTP) encryption with split counters, per-block MACs, and a Bonsai Merkle
+Tree over the counters with an on-chip root register.
+
+:class:`SecureMemory` layers those mechanisms over a
+:class:`~repro.sim.nvm.NonVolatileMemory` and exposes the two write
+disciplines whose contrast *is* the paper:
+
+* ``atomic=True`` — the SecPB-coordinated discipline: a persisted block's
+  whole memory tuple (C, gamma, M, R) becomes durable together, so
+  post-crash recovery always sees consistent state.
+* ``atomic=False`` — the naive persistent-hierarchy discipline (the
+  "recoverability gap" of Fig. 1b): ciphertext becomes durable immediately
+  but metadata updates land in a volatile overlay that a crash discards,
+  so recovery decrypts with stale counters and fails verification.
+
+Recovery (:meth:`SecureMemory.recover_block`) performs the full observer
+check: BMT-verify the counter block against the root register, regenerate
+the OTP, decrypt, and verify the MAC.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..sim.config import CACHE_BLOCK_BYTES
+from ..sim.nvm import NonVolatileMemory
+from .bmt import BonsaiMerkleTree
+from .counters import CounterBlock, CounterStore
+from .mac import MacEngine, MacRecord, MacStore
+from .otp import OTPEngine
+
+
+class RecoveryStatus(enum.Enum):
+    """Verdict of the recovery observer for one block."""
+
+    OK = "ok"
+    COUNTER_INTEGRITY_FAILURE = "counter-integrity-failure"
+    MAC_FAILURE = "mac-failure"
+    NOT_PRESENT = "not-present"
+
+
+@dataclass
+class RecoveredBlock:
+    """Result of recovering one block after a crash."""
+
+    block_addr: int
+    status: RecoveryStatus
+    plaintext: Optional[bytes] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status is RecoveryStatus.OK
+
+
+class CryptoEngine:
+    """Encryption + integrity engine parameterized by two keys.
+
+    ``tree`` may be any integrity structure exposing
+    ``update_leaf(leaf_index, payload)`` and
+    ``verify_leaf(leaf_index, payload) -> bool`` — the Bonsai Merkle Tree
+    by default, or e.g. :class:`~repro.security.counter_tree.SgxCounterTree`.
+    """
+
+    def __init__(
+        self,
+        encryption_key: bytes = b"secpb-reproduction-encryption-k",
+        integrity_key: bytes = b"secpb-reproduction-integrity-ke",
+        bmt_height: int = 8,
+        bmt_arity: int = 8,
+        tree=None,
+    ):
+        self.otp = OTPEngine(encryption_key)
+        self.mac = MacEngine(integrity_key)
+        self.bmt = (
+            tree
+            if tree is not None
+            else BonsaiMerkleTree(integrity_key, height=bmt_height, arity=bmt_arity)
+        )
+
+
+class SecureMemory:
+    """Functional secure persistent memory with selectable write atomicity.
+
+    The durable world is: NVM ciphertext blocks, the durable counter store,
+    the durable MAC store, the BMT (interior nodes in PM, root in the
+    non-volatile register).  With ``atomic=False`` metadata updates go to
+    volatile *overlay* copies instead, and :meth:`crash` discards them.
+    """
+
+    def __init__(
+        self,
+        nvm: Optional[NonVolatileMemory] = None,
+        engine: Optional[CryptoEngine] = None,
+        atomic: bool = True,
+    ):
+        self.nvm = nvm if nvm is not None else NonVolatileMemory()
+        self.engine = engine if engine is not None else CryptoEngine()
+        self.atomic = atomic
+        # Durable metadata homes.
+        self.counters = CounterStore()
+        self.macs = MacStore()
+        # Volatile overlays used when atomic=False (the recoverability gap):
+        # metadata whose durable home has NOT yet been updated.
+        self._volatile_counters: Dict[int, CounterBlock] = {}
+        self._volatile_macs: Dict[int, MacRecord] = {}
+        self._volatile_bmt_dirty: bool = False
+        self.writes = 0
+
+    # Write path ---------------------------------------------------------
+
+    def _working_counters(self, page_index: int) -> CounterBlock:
+        """The counter block the write path reads/updates.
+
+        In gapped mode, updates operate on a volatile overlay copy so the
+        durable home keeps the stale value a crash would expose.
+        """
+        if self.atomic:
+            return self.counters.page(page_index)
+        block = self._volatile_counters.get(page_index)
+        if block is None:
+            block = self.counters.page(page_index).copy()
+            self._volatile_counters[page_index] = block
+        return block
+
+    def persist_block(self, block_addr: int, plaintext: bytes) -> None:
+        """Persist one plaintext block with a full memory-tuple update.
+
+        Performs: counter increment, OTP generation, encryption, MAC, and
+        BMT leaf-to-root update.  Where the metadata lands depends on the
+        ``atomic`` discipline (see class docstring).  Counter overflow
+        triggers page re-encryption of every previously written block in
+        the page, as split counters require.
+        """
+        if len(plaintext) != CACHE_BLOCK_BYTES:
+            raise ValueError("persist_block takes one 64 B plaintext block")
+        page_index, offset = CounterStore.locate(block_addr)
+        counter_block = self._working_counters(page_index)
+
+        overflowed = counter_block.increment(offset)
+        if overflowed:
+            self.counters.overflows += 1
+            if self.atomic:
+                self._reencrypt_page(page_index, counter_block, skip_offset=offset)
+        major, minor = counter_block.nonce(offset)
+
+        pad = self.engine.otp.generate(block_addr, major, minor)
+        ciphertext = self.engine.otp.encrypt(plaintext, pad)
+        mac_record = self.engine.mac.compute(ciphertext, block_addr, major, minor)
+
+        # Ciphertext always reaches the durable NVM (the data persisted).
+        self.nvm.write_block(block_addr, ciphertext)
+
+        if self.atomic:
+            self.macs.put(mac_record)
+            self.engine.bmt.update_leaf(page_index, counter_block.encode())
+        else:
+            self._volatile_macs[block_addr] = mac_record
+            self._volatile_bmt_dirty = True
+        self.writes += 1
+
+    def _reencrypt_page(
+        self,
+        page_index: int,
+        counter_block: CounterBlock,
+        skip_offset: int,
+    ) -> None:
+        """Split-counter overflow: re-encrypt every written block in page.
+
+        The major counter changed, so every block's OTP changes; all
+        previously persisted ciphertexts in the page must be re-encrypted
+        under the new nonce and their MACs refreshed.
+        """
+        base = page_index * 64
+        for offset in range(64):
+            if offset == skip_offset:
+                continue
+            addr = base + offset
+            mac_record = self.macs.get(addr)
+            if mac_record is None:
+                continue  # never written
+            old_plain = self.engine.otp.decrypt_with_nonce(
+                self.nvm.read_block(addr), addr, mac_record.major, mac_record.minor
+            )
+            major, minor = counter_block.nonce(offset)
+            new_cipher = self.engine.otp.encrypt_with_nonce(old_plain, addr, major, minor)
+            self.nvm.write_block(addr, new_cipher)
+            self.macs.put(self.engine.mac.compute(new_cipher, addr, major, minor))
+
+    # Gap management ---------------------------------------------------------
+
+    def writeback_metadata(self) -> None:
+        """Flush all volatile metadata overlays to their durable homes.
+
+        In a real system this is the metadata-cache writeback traffic; for
+        the gapped discipline it is the only way metadata reaches PM before
+        a crash.
+        """
+        for page_index, block in self._volatile_counters.items():
+            self.counters.pages()[page_index] = block.copy()
+            self.engine.bmt.update_leaf(page_index, block.encode())
+        for record in self._volatile_macs.values():
+            self.macs.put(record)
+        self._volatile_counters.clear()
+        self._volatile_macs.clear()
+        self._volatile_bmt_dirty = False
+
+    def crash(self) -> None:
+        """Power loss: volatile overlays vanish; durable state remains."""
+        self._volatile_counters.clear()
+        self._volatile_macs.clear()
+        self._volatile_bmt_dirty = False
+
+    # Recovery ------------------------------------------------------------
+
+    def recover_block(self, block_addr: int) -> RecoveredBlock:
+        """Run the recovery observer's check on one block.
+
+        Steps (Sec. III-A): fetch the durable counter block, verify it
+        against the BMT root register, regenerate the OTP, decrypt the NVM
+        ciphertext, and verify the MAC.
+        """
+        page_index, offset = CounterStore.locate(block_addr)
+        mac_record = self.macs.get(block_addr)
+        if mac_record is None:
+            return RecoveredBlock(block_addr, RecoveryStatus.NOT_PRESENT)
+
+        counter_block = self.counters.page(page_index)
+        if not self.engine.bmt.verify_leaf(page_index, counter_block.encode()):
+            return RecoveredBlock(
+                block_addr, RecoveryStatus.COUNTER_INTEGRITY_FAILURE
+            )
+
+        major, minor = counter_block.nonce(offset)
+        ciphertext = self.nvm.read_block(block_addr)
+        if not self.engine.mac.verify(ciphertext, block_addr, major, minor, mac_record.tag):
+            return RecoveredBlock(block_addr, RecoveryStatus.MAC_FAILURE)
+
+        plaintext = self.engine.otp.decrypt_with_nonce(
+            ciphertext, block_addr, major, minor
+        )
+        return RecoveredBlock(block_addr, RecoveryStatus.OK, plaintext)
+
+    def recover_all(self) -> Dict[int, RecoveredBlock]:
+        """Recover every block that has a durable MAC record."""
+        return {
+            addr: self.recover_block(addr) for addr in self.macs.snapshot()
+        }
+
+    # Attack-model helpers (tests) -----------------------------------------
+
+    def tamper_data(self, block_addr: int, new_ciphertext: bytes) -> None:
+        """Adversary overwrites PM ciphertext (spoofing attack)."""
+        self.nvm.corrupt_block(block_addr, new_ciphertext)
+
+    def splice_data(self, from_addr: int, to_addr: int) -> None:
+        """Adversary copies ciphertext between addresses (splicing attack)."""
+        self.nvm.corrupt_block(to_addr, self.nvm.read_block(from_addr))
+
+    def replay_counter(self, page_index: int, old_block: CounterBlock) -> None:
+        """Adversary rolls a counter block in PM back to an old version."""
+        self.counters.pages()[page_index] = old_block.copy()

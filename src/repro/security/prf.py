@@ -1,0 +1,86 @@
+"""Keyed pseudo-random function standing in for hardware AES / SHA engines.
+
+The paper's crypto engine uses AES for one-time-pad (OTP) generation and a
+SHA-class hash for MACs and Bonsai-Merkle-Tree nodes.  A reproduction does
+not need the exact ciphers — it needs their *functional contract*:
+
+* deterministic expansion of (key, tweak...) into a pseudo-random block,
+* strong sensitivity to every input byte (so tampering or counter reuse is
+  detectable by the tests), and
+* one-wayness for hashing.
+
+We build both from SHA-256 via :mod:`hashlib`, which is available offline
+and fast in CPython.  Timing and energy of the real engines enter the model
+through :class:`repro.sim.config.SecurityConfig` (40-cycle latency) and
+:mod:`repro.energy.costs` (Table III), not through this module.
+
+The substitution is documented in DESIGN.md ("Hardware AES / SHA engines").
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from typing import Iterable, Union
+
+BLOCK_BYTES = 64
+DIGEST_BYTES = 32
+
+IntOrBytes = Union[int, bytes]
+
+
+def _encode(part: IntOrBytes) -> bytes:
+    """Canonical, unambiguous byte encoding of one PRF input component.
+
+    Each component is length-prefixed so that e.g. (b"ab", b"c") and
+    (b"a", b"bc") hash differently.
+    """
+    if isinstance(part, int):
+        if part < 0:
+            raise ValueError("PRF integer inputs must be non-negative")
+        raw = part.to_bytes((part.bit_length() + 7) // 8 or 1, "little")
+    else:
+        raw = bytes(part)
+    return len(raw).to_bytes(4, "little") + raw
+
+
+def prf(key: bytes, *parts: IntOrBytes, out_bytes: int = BLOCK_BYTES) -> bytes:
+    """Keyed PRF: expand (key, parts...) into ``out_bytes`` pseudo-random bytes.
+
+    Used for OTP generation (AES stand-in).  Output is produced in 32-byte
+    SHA-256 chunks with a counter, i.e. a simple counter-mode expansion.
+    """
+    if not key:
+        raise ValueError("PRF key must be non-empty")
+    seed = b"".join(_encode(p) for p in parts)
+    output = bytearray()
+    chunk_index = 0
+    while len(output) < out_bytes:
+        h = hmac.new(key, _encode(chunk_index) + seed, hashlib.sha256)
+        output.extend(h.digest())
+        chunk_index += 1
+    return bytes(output[:out_bytes])
+
+
+def keyed_hash(key: bytes, *parts: IntOrBytes) -> bytes:
+    """Keyed hash (HMAC-SHA-256): MAC and BMT-node stand-in (32 bytes)."""
+    if not key:
+        raise ValueError("hash key must be non-empty")
+    h = hmac.new(key, b"".join(_encode(p) for p in parts), hashlib.sha256)
+    return h.digest()
+
+
+def hash_children(key: bytes, level: int, index: int, children: Iterable[bytes]) -> bytes:
+    """Hash a BMT node from its children digests.
+
+    The (level, index) position is bound into the hash to prevent subtree
+    transplantation (a standard Merkle-tree hardening).
+    """
+    return keyed_hash(key, b"bmt-node", level, index, b"".join(children))
+
+
+def xor_bytes(a: bytes, b: bytes) -> bytes:
+    """Byte-wise XOR of two equal-length strings (the counter-mode XOR)."""
+    if len(a) != len(b):
+        raise ValueError(f"xor operands differ in length: {len(a)} vs {len(b)}")
+    return bytes(x ^ y for x, y in zip(a, b))

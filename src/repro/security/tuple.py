@@ -1,0 +1,146 @@
+"""The memory tuple and the two PLP crash-recoverability invariants.
+
+PLP [18] (summarized in paper Sec. III-A) defines the **memory tuple** of a
+persisted store as ``(C, gamma, M, R)`` — ciphertext, counter, MAC, BMT
+root — and requires:
+
+1. **Atomicity invariant** — a store counts as persisted only when *every*
+   tuple component has been updated and persisted; a partial tuple makes
+   post-crash recovery yield wrong plaintext or fail verification.
+2. **Persist-order invariant** — if the persistency model orders two stores
+   ``a1 -> a2``, every tuple component must persist in that same order.
+
+This module gives those invariants a concrete, checkable form used by the
+property tests and by :class:`repro.core.crash.CrashManager` to audit the
+state a crash observer is about to be shown.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+class TupleComponent(enum.Enum):
+    """The four components of the PLP memory tuple."""
+
+    CIPHERTEXT = "C"
+    COUNTER = "gamma"
+    MAC = "M"
+    BMT_ROOT = "R"
+
+
+ALL_COMPONENTS = (
+    TupleComponent.CIPHERTEXT,
+    TupleComponent.COUNTER,
+    TupleComponent.MAC,
+    TupleComponent.BMT_ROOT,
+)
+
+
+@dataclass
+class TupleState:
+    """Persistence status of one store's memory tuple.
+
+    ``persisted_at[c]`` records the (logical) time each component reached
+    persistence; ``None`` means not yet persisted.
+    """
+
+    store_id: int
+    block_addr: int
+    persisted_at: Dict[TupleComponent, Optional[float]] = field(
+        default_factory=lambda: {c: None for c in ALL_COMPONENTS}
+    )
+
+    def persist(self, component: TupleComponent, when: float) -> None:
+        """Mark one component persisted at logical time ``when``."""
+        already = self.persisted_at[component]
+        if already is not None and when < already:
+            raise ValueError(
+                f"store {self.store_id}: component {component.value} "
+                f"re-persisted earlier ({when}) than before ({already})"
+            )
+        self.persisted_at[component] = when
+
+    @property
+    def complete(self) -> bool:
+        """True when every component has persisted (invariant 1)."""
+        return all(t is not None for t in self.persisted_at.values())
+
+    @property
+    def completion_time(self) -> Optional[float]:
+        """Time the whole tuple became persistent, or None if incomplete."""
+        times = list(self.persisted_at.values())
+        if any(t is None for t in times):
+            return None
+        return max(times)
+
+    def missing_components(self) -> List[TupleComponent]:
+        """Components still unpersisted (what the sec-sync must finish)."""
+        return [c for c, t in self.persisted_at.items() if t is None]
+
+
+class InvariantViolation(Exception):
+    """Raised when a crash observer would see an invariant-breaking state."""
+
+
+def check_atomicity(tuples: Sequence[TupleState]) -> None:
+    """Invariant 1: every tuple the observer sees as persisted is complete.
+
+    Raises:
+        InvariantViolation: naming the first offending store and its
+            missing components.
+    """
+    for state in tuples:
+        if not state.complete:
+            missing = ", ".join(c.value for c in state.missing_components())
+            raise InvariantViolation(
+                f"store {state.store_id} (block {state.block_addr:#x}) is "
+                f"observable but its tuple is missing: {missing}"
+            )
+
+
+def check_persist_order(
+    ordered_tuples: Sequence[TupleState],
+) -> None:
+    """Invariant 2: tuple completion follows the stores' persist order.
+
+    Args:
+        ordered_tuples: tuple states in the persistency-model order of
+            their stores (``a1 -> a2 -> ...``).
+
+    Raises:
+        InvariantViolation: when a later store's tuple completed before an
+            earlier store's tuple.
+    """
+    check_atomicity(ordered_tuples)
+    previous_time: Optional[float] = None
+    previous_id: Optional[int] = None
+    for state in ordered_tuples:
+        completion = state.completion_time
+        assert completion is not None  # guaranteed by check_atomicity
+        if previous_time is not None and completion < previous_time:
+            raise InvariantViolation(
+                f"persist-order violation: store {state.store_id} completed "
+                f"at {completion} before earlier store {previous_id} "
+                f"(completed {previous_time})"
+            )
+        previous_time, previous_id = completion, state.store_id
+
+
+def audit_observable_state(
+    tuples: Sequence[TupleState],
+) -> Tuple[bool, Optional[str]]:
+    """Non-raising audit used by the crash machinery.
+
+    Returns:
+        (ok, reason): ok is True when both invariants hold for the given
+        persist-ordered tuple sequence; otherwise reason explains the
+        violation.
+    """
+    try:
+        check_persist_order(tuples)
+    except InvariantViolation as exc:
+        return False, str(exc)
+    return True, None

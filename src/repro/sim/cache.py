@@ -1,0 +1,214 @@
+"""Set-associative cache model with persist-aware block states.
+
+The model serves two purposes:
+
+* **Timing** — hit/miss classification with true LRU replacement, feeding
+  the latency accounting in :mod:`repro.core.simulator`.
+* **Crash semantics** — Section IV-C of the paper modifies the cache
+  protocol so that dirty blocks from the persistent region are held in a
+  special *persist-dirty* state whose LLC eviction is **silently discarded**
+  (the SecPB guarantees the data reaches PM, so the writeback is redundant).
+  The state machinery here lets the crash machinery in
+  :mod:`repro.core.crash` discard exactly the volatile state a real power
+  loss would destroy.
+
+Addresses are byte addresses; the cache operates on block-aligned tags.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional, Tuple
+
+from .config import CacheConfig
+from .stats import StatsCollector
+
+
+class BlockState(enum.Enum):
+    """Coherence/persistence state of a cached block (MESI-lite).
+
+    ``PERSIST_DIRTY`` is the paper's special state: modified data whose
+    persistence is already guaranteed by the SecPB, so eviction discards it
+    silently instead of writing it back (Sec. IV-C-a).
+    """
+
+    INVALID = "I"
+    SHARED = "S"
+    EXCLUSIVE = "E"
+    MODIFIED = "M"
+    PERSIST_DIRTY = "PD"
+
+
+DIRTY_STATES = frozenset({BlockState.MODIFIED, BlockState.PERSIST_DIRTY})
+
+
+@dataclass
+class CacheBlock:
+    """One resident cache block."""
+
+    block_addr: int
+    state: BlockState
+
+    @property
+    def dirty(self) -> bool:
+        return self.state in DIRTY_STATES
+
+    @property
+    def needs_writeback(self) -> bool:
+        """Only plain MODIFIED blocks write back; PERSIST_DIRTY is discarded."""
+        return self.state is BlockState.MODIFIED
+
+
+class AccessOutcome(enum.Enum):
+    """Result classification of a cache access."""
+
+    HIT = "hit"
+    MISS = "miss"
+
+
+@dataclass
+class EvictionRecord:
+    """Describes a block pushed out by a fill."""
+
+    block_addr: int
+    state: BlockState
+
+    @property
+    def writeback_required(self) -> bool:
+        return self.state is BlockState.MODIFIED
+
+
+class Cache:
+    """A set-associative, write-back, write-allocate cache with true LRU.
+
+    Each set is an :class:`collections.OrderedDict` mapping block address to
+    :class:`CacheBlock`; moving a key to the end marks it most-recently-used,
+    so the LRU victim is always the first key.
+    """
+
+    def __init__(self, config: CacheConfig, stats: Optional[StatsCollector] = None):
+        self.config = config
+        self.stats = stats if stats is not None else StatsCollector()
+        self._sets: Tuple[OrderedDict, ...] = tuple(
+            OrderedDict() for _ in range(config.num_sets)
+        )
+        self._block_shift = config.block_bytes.bit_length() - 1
+        if 1 << self._block_shift != config.block_bytes:
+            raise ValueError("block size must be a power of two")
+
+    # Address helpers ------------------------------------------------------
+
+    def block_address(self, addr: int) -> int:
+        """Block-align a byte address."""
+        return addr >> self._block_shift
+
+    def _set_index(self, block_addr: int) -> int:
+        return block_addr % self.config.num_sets
+
+    # Queries ----------------------------------------------------------------
+
+    def lookup(self, addr: int) -> Optional[CacheBlock]:
+        """Return the resident block for ``addr`` (no LRU update), else None."""
+        block_addr = self.block_address(addr)
+        return self._sets[self._set_index(block_addr)].get(block_addr)
+
+    def contains(self, addr: int) -> bool:
+        """True when the block holding ``addr`` is resident and valid."""
+        block = self.lookup(addr)
+        return block is not None and block.state is not BlockState.INVALID
+
+    def occupancy(self) -> int:
+        """Number of valid resident blocks."""
+        return sum(len(s) for s in self._sets)
+
+    def iter_blocks(self) -> Iterator[CacheBlock]:
+        """Iterate over all resident blocks (any set order)."""
+        for cache_set in self._sets:
+            yield from cache_set.values()
+
+    def dirty_blocks(self) -> Iterator[CacheBlock]:
+        """Iterate over blocks in a dirty state (M or PD)."""
+        return (b for b in self.iter_blocks() if b.dirty)
+
+    # Mutation ---------------------------------------------------------------
+
+    def access(
+        self,
+        addr: int,
+        is_write: bool,
+        persist_region: bool = False,
+    ) -> Tuple[AccessOutcome, Optional[EvictionRecord]]:
+        """Perform a load or store access.
+
+        On a miss the block is allocated (write-allocate) and the LRU victim,
+        if any, is reported so the caller can model the writeback (or its
+        silent discard for PERSIST_DIRTY victims).
+
+        Args:
+            addr: byte address accessed.
+            is_write: True for a store.
+            persist_region: True when the address lies in the persistent
+                region, in which case stores install the block in the
+                PERSIST_DIRTY (silently-discardable) state.
+
+        Returns:
+            (outcome, eviction) — eviction is None when no victim was pushed.
+        """
+        block_addr = self.block_address(addr)
+        cache_set = self._sets[self._set_index(block_addr)]
+        prefix = f"cache.{self.config.name}"
+
+        block = cache_set.get(block_addr)
+        if block is not None:
+            cache_set.move_to_end(block_addr)
+            if is_write:
+                block.state = (
+                    BlockState.PERSIST_DIRTY if persist_region else BlockState.MODIFIED
+                )
+            self.stats.add(f"{prefix}.hits")
+            return AccessOutcome.HIT, None
+
+        self.stats.add(f"{prefix}.misses")
+        eviction = None
+        if len(cache_set) >= self.config.ways:
+            victim_addr, victim = cache_set.popitem(last=False)
+            eviction = EvictionRecord(victim_addr, victim.state)
+            if eviction.writeback_required:
+                self.stats.add(f"{prefix}.writebacks")
+            elif victim.state is BlockState.PERSIST_DIRTY:
+                self.stats.add(f"{prefix}.silent_discards")
+
+        if is_write:
+            state = BlockState.PERSIST_DIRTY if persist_region else BlockState.MODIFIED
+        else:
+            state = BlockState.EXCLUSIVE
+        cache_set[block_addr] = CacheBlock(block_addr, state)
+        return AccessOutcome.MISS, eviction
+
+    def downgrade(self, addr: int) -> None:
+        """Move a block to SHARED (remote read), keeping it resident."""
+        block = self.lookup(addr)
+        if block is not None:
+            block.state = BlockState.SHARED
+
+    def invalidate(self, addr: int) -> Optional[CacheBlock]:
+        """Remove the block holding ``addr``; returns it if it was resident."""
+        block_addr = self.block_address(addr)
+        cache_set = self._sets[self._set_index(block_addr)]
+        return cache_set.pop(block_addr, None)
+
+    def flush_all(self) -> int:
+        """Drop every block (models volatile caches losing power).
+
+        Returns:
+            Number of MODIFIED blocks whose contents were lost — in a
+            correctly configured persistent hierarchy this must be zero for
+            persistent-region data, because such data is held PERSIST_DIRTY
+            (already persisted via the SecPB).
+        """
+        lost = sum(1 for b in self.iter_blocks() if b.state is BlockState.MODIFIED)
+        for cache_set in self._sets:
+            cache_set.clear()
+        return lost

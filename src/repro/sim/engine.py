@@ -1,0 +1,119 @@
+"""Cycle bookkeeping primitives for the trace-driven timing model.
+
+The SecPB simulator is not a full discrete-event simulator; the paper's own
+analytic validation (Sec. VI-B) shows the first-order behaviour is captured
+by a pipeline model in which the core retires instructions at a base rate
+and stalls when the store path backs up.  This module provides the two
+pieces that model needs:
+
+* :class:`CycleClock` — a monotonically advancing cycle counter, and
+* :class:`BusyResource` — a single-server resource (e.g. the SecPB's one
+  in-flight BMT-update engine, the NVM write port) on which work items
+  serialize; requesting the resource returns both the wait and the
+  completion time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+
+@dataclass
+class CycleClock:
+    """Monotonic cycle counter."""
+
+    now: float = 0.0
+
+    def advance(self, cycles: float) -> float:
+        """Move time forward by ``cycles`` (must be non-negative)."""
+        if cycles < 0:
+            raise ValueError(f"cannot advance time by {cycles} cycles")
+        self.now += cycles
+        return self.now
+
+    def advance_to(self, when: float) -> float:
+        """Move time forward to ``when`` if it is in the future."""
+        if when > self.now:
+            self.now = when
+        return self.now
+
+
+@dataclass
+class BusyResource:
+    """A single-server FIFO resource with service latency per request.
+
+    Models structural hazards such as "one in-flight BMT update" (paper
+    Sec. VI-B: "the overheads observed stem from constraining the system to
+    one in-flight BMT update").
+    """
+
+    name: str
+    free_at: float = 0.0
+    total_busy: float = field(default=0.0)
+    requests: int = field(default=0)
+
+    def request(self, now: float, service_cycles: float) -> Tuple[float, float]:
+        """Occupy the resource for ``service_cycles`` starting no earlier
+        than ``now``.
+
+        Returns:
+            (wait_cycles, completion_time): how long the requester queued
+            behind earlier work, and when this request finishes.
+        """
+        if service_cycles < 0:
+            raise ValueError("service time must be non-negative")
+        start = max(now, self.free_at)
+        wait = start - now
+        completion = start + service_cycles
+        self.free_at = completion
+        self.total_busy += service_cycles
+        self.requests += 1
+        return wait, completion
+
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of ``elapsed`` cycles the resource was busy."""
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.total_busy / elapsed)
+
+
+@dataclass
+class BoundedPipeline:
+    """Tracks occupancy of a bounded in-flight window (e.g. store buffer).
+
+    The core may have up to ``depth`` operations outstanding; pushing work
+    when the window is full stalls until the oldest completes.  Completions
+    are tracked as a sorted insertion into a ring of completion times — with
+    the small depths used here (32-ish) a simple list is faster than a heap.
+    """
+
+    name: str
+    depth: int
+    _completions: list = field(default_factory=list)
+
+    def push(self, now: float, completion: float) -> float:
+        """Add an operation completing at ``completion``.
+
+        Returns:
+            Stall cycles suffered because the window was full at ``now``.
+        """
+        completions = self._completions
+        # Retire everything already finished.
+        if completions:
+            pending = [c for c in completions if c > now]
+            if len(pending) != len(completions):
+                completions[:] = pending
+        stall = 0.0
+        if len(completions) >= self.depth:
+            # Must wait for the oldest outstanding op to retire.
+            oldest = min(completions)
+            stall = max(0.0, oldest - now)
+            release = now + stall
+            completions[:] = [c for c in completions if c > release]
+        completions.append(completion)
+        return stall
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._completions)

@@ -1,0 +1,113 @@
+"""The assembled volatile memory hierarchy (L1D / L2 / LLC + MC + NVM).
+
+:class:`MemoryHierarchy` provides the two services the SecPB simulator
+needs from the cache stack:
+
+* latency classification of loads and stores (which level hits), and
+* persist-aware dirty-state handling: stores to the persistent region are
+  installed in the silently-discardable PERSIST_DIRTY state because the
+  SecPB, not the cache, owns their durability (paper Sec. IV-C-a).
+
+The hierarchy is deliberately single-core (the paper evaluates one OOO core,
+Table I); the multi-SecPB coherence protocol of Sec. IV-C is modelled
+separately in :mod:`repro.core.coherence`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from .cache import AccessOutcome, Cache
+from .config import SystemConfig
+from .memctrl import MemoryController
+from .nvm import NonVolatileMemory
+from .stats import StatsCollector
+
+
+class MemoryHierarchy:
+    """Three-level cache stack over a memory controller and NVM."""
+
+    def __init__(
+        self,
+        config: Optional[SystemConfig] = None,
+        stats: Optional[StatsCollector] = None,
+    ):
+        self.config = config if config is not None else SystemConfig()
+        self.stats = stats if stats is not None else StatsCollector()
+        self.l1 = Cache(self.config.l1, self.stats)
+        self.l2 = Cache(self.config.l2, self.stats)
+        self.l3 = Cache(self.config.l3, self.stats)
+        self.nvm = NonVolatileMemory(
+            self.config.nvm, self.config.clock_ghz, self.stats
+        )
+        self.mc = MemoryController(self.config, self.nvm, self.stats)
+
+    # Timing ------------------------------------------------------------------
+
+    def load_latency(self, addr: int) -> int:
+        """Cycles for a load to return data, filling caches along the way."""
+        latency = self.config.l1.access_cycles
+        outcome, _ = self.l1.access(addr, is_write=False)
+        if outcome is AccessOutcome.HIT:
+            return latency
+
+        latency += self.config.l2.access_cycles
+        outcome, _ = self.l2.access(addr, is_write=False)
+        if outcome is AccessOutcome.HIT:
+            return latency
+
+        latency += self.config.l3.access_cycles
+        outcome, _ = self.l3.access(addr, is_write=False)
+        if outcome is AccessOutcome.HIT:
+            return latency
+
+        self.stats.add("hierarchy.memory_reads")
+        return latency + self.nvm.timing.read_cycles
+
+    def store_access(self, addr: int, persist_region: bool) -> Tuple[int, bool]:
+        """Perform the cache side of a store (paper step 1).
+
+        The store accesses L1D; on a miss the block is fetched through the
+        hierarchy (write-allocate), which is also the fetch the SecPB needs
+        for its own allocation of the same block (the two proceed in
+        parallel per Sec. IV-B, so one latency covers both).
+
+        Returns:
+            (latency_cycles, l1_hit)
+        """
+        outcome, eviction = self.l1.access(addr, is_write=True, persist_region=persist_region)
+        latency = self.config.l1.access_cycles
+        if outcome is AccessOutcome.HIT:
+            return latency, True
+
+        # Miss: charge the fill path. L2/L3 are probed as part of the fill.
+        l2_outcome, _ = self.l2.access(addr, is_write=False)
+        latency += self.config.l2.access_cycles
+        if l2_outcome is AccessOutcome.MISS:
+            l3_outcome, _ = self.l3.access(addr, is_write=False)
+            latency += self.config.l3.access_cycles
+            if l3_outcome is AccessOutcome.MISS:
+                self.stats.add("hierarchy.memory_reads")
+                latency += self.nvm.timing.read_cycles
+        if eviction is not None and eviction.writeback_required:
+            # Non-persistent dirty victim: async writeback, no added latency
+            # on the store path, but it consumes a WPQ-side write.
+            self.stats.add("hierarchy.victim_writebacks")
+        return latency, False
+
+    # Crash semantics -----------------------------------------------------------
+
+    def discard_volatile(self) -> int:
+        """Power loss: all SRAM caches lose their contents.
+
+        The WPQ (ADR) and NVM survive; the WPQ is flushed to the array as
+        the ADR mechanism guarantees.
+
+        Returns:
+            Number of plain-MODIFIED blocks lost across the stack — data the
+            system *chose* to keep volatile (non-persistent region).
+        """
+        lost = self.l1.flush_all() + self.l2.flush_all() + self.l3.flush_all()
+        self.mc.flush_wpq()
+        self.stats.add("hierarchy.crash_discards", lost)
+        return lost

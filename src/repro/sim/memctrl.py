@@ -1,0 +1,114 @@
+"""Memory controller with an ADR write-pending queue (WPQ).
+
+The memory controller is the boundary of the traditional persistency domain:
+under Asynchronous DRAM Refresh (ADR) a write accepted into the WPQ is
+guaranteed to reach the NVM even across power failure, so *entering the WPQ
+is persistence* for anything the SecPB drains.
+
+The controller also hosts the crypto engine and the volatile metadata caches
+(attached by :class:`repro.security.engine.CryptoEngine`); this module only
+models the data path: WPQ occupancy, acceptance stalls, and NVM handoff.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Optional, Tuple
+
+from .config import SystemConfig
+from .nvm import NonVolatileMemory
+from .stats import StatsCollector
+
+
+@dataclass
+class WPQEntry:
+    """One pending persistent write held in the ADR domain."""
+
+    block_addr: int
+    data: bytes
+
+
+class MemoryController:
+    """Data-path model of the MC: WPQ + NVM handoff.
+
+    The WPQ is ADR-protected: entries are durable the moment they are
+    accepted.  Functionally, :meth:`flush_wpq` (invoked on crash or
+    opportunistically) moves entries into the NVM store.  For timing, the
+    caller uses :meth:`accept_cycles` to learn how long a drain write takes
+    to be accepted, which grows when the WPQ is saturated.
+    """
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        nvm: NonVolatileMemory,
+        stats: Optional[StatsCollector] = None,
+    ):
+        self.config = config
+        self.nvm = nvm
+        self.stats = stats if stats is not None else StatsCollector()
+        self._wpq: Deque[WPQEntry] = deque()
+        # Cycle at which the NVM write port frees up (bandwidth model).
+        self._write_port_free_at: float = 0.0
+
+    # Timing ----------------------------------------------------------------
+
+    def accept_cycles(self, now: float) -> Tuple[float, float]:
+        """Latency for the WPQ to accept one drained block at time ``now``.
+
+        Returns:
+            (acceptance_latency, completion_time) where completion_time is
+            when the block will have left the WPQ for the NVM array.  The
+            acceptance latency is near-zero while the WPQ has free entries
+            and degrades to NVM write bandwidth when saturated.
+        """
+        write_cycles = self.nvm.timing.write_cycles
+        start = max(now, self._write_port_free_at)
+        completion = start + write_cycles
+        backlog = (completion - now) / write_cycles
+        if backlog > self.config.wpq_entries:
+            # WPQ full: acceptance must wait for a slot to free.
+            acceptance = completion - now - self.config.wpq_entries * write_cycles
+            self.stats.add("mc.wpq_stalls")
+        else:
+            acceptance = 0.0
+        self._write_port_free_at = completion
+        return acceptance, completion
+
+    # Functional --------------------------------------------------------------
+
+    def enqueue(self, block_addr: int, data: bytes) -> None:
+        """Accept a persistent write into the ADR domain."""
+        self._wpq.append(WPQEntry(block_addr, data))
+        self.stats.add("mc.wpq_writes")
+        # Keep the functional queue bounded like the hardware one: overflow
+        # drains the oldest entries to NVM immediately (they are durable
+        # either way; this just bounds memory usage).
+        while len(self._wpq) > self.config.wpq_entries:
+            entry = self._wpq.popleft()
+            self.nvm.write_block(entry.block_addr, entry.data)
+
+    def flush_wpq(self) -> int:
+        """Drain every WPQ entry into the NVM array (ADR flush).
+
+        Returns the number of entries flushed.
+        """
+        flushed = 0
+        while self._wpq:
+            entry = self._wpq.popleft()
+            self.nvm.write_block(entry.block_addr, entry.data)
+            flushed += 1
+        self.stats.add("mc.wpq_flushes", flushed)
+        return flushed
+
+    def pending_writes(self) -> Dict[int, bytes]:
+        """Blocks currently in the WPQ, newest write winning per address."""
+        pending: Dict[int, bytes] = {}
+        for entry in self._wpq:
+            pending[entry.block_addr] = entry.data
+        return pending
+
+    @property
+    def wpq_occupancy(self) -> int:
+        return len(self._wpq)

@@ -1,0 +1,24 @@
+"""Workload substrate: trace format, synthetic generators, SPEC profiles."""
+
+from .spec import PROFILES, BenchmarkProfile, all_benchmarks, build_trace
+from .synthetic import (
+    hotspot_trace,
+    pointer_chase_trace,
+    streaming_trace,
+    uniform_trace,
+    zipf_trace,
+)
+from .trace import Trace
+
+__all__ = [
+    "BenchmarkProfile",
+    "PROFILES",
+    "Trace",
+    "all_benchmarks",
+    "build_trace",
+    "hotspot_trace",
+    "pointer_chase_trace",
+    "streaming_trace",
+    "uniform_trace",
+    "zipf_trace",
+]

@@ -1,0 +1,74 @@
+"""Tests for repro.energy.advisor — scheme choice under battery budgets."""
+
+import pytest
+
+from repro.core.schemes import SPECTRUM_ORDER, get_scheme
+from repro.energy.advisor import (
+    recommend,
+    scheme_requirement_mm3,
+    store_buffer_drain_energy_nj,
+)
+from repro.energy.costs import LI_THIN, SUPERCAP
+
+
+class TestRequirement:
+    def test_matches_battery_estimate(self):
+        from repro.energy.battery import estimate_scheme
+
+        requirement = scheme_requirement_mm3(get_scheme("cm"))
+        assert requirement == pytest.approx(
+            estimate_scheme(get_scheme("cm")).supercap_mm3
+        )
+
+    def test_store_buffer_adds_energy(self):
+        base = scheme_requirement_mm3(get_scheme("cm"))
+        with_sb = scheme_requirement_mm3(
+            get_scheme("cm"), include_store_buffer=True
+        )
+        assert with_sb > base
+
+    def test_store_buffer_energy_positive(self):
+        assert store_buffer_drain_energy_nj() > 0
+
+
+class TestRecommend:
+    def test_generous_budget_picks_cobcm(self):
+        assert recommend(100.0).best == "cobcm"
+
+    def test_tight_budget_picks_cm_band(self):
+        """~1 mm^3 SuperCap: the paper's budget-conscious choice is CM."""
+        assert recommend(1.0).best == "cm"
+
+    def test_tiny_budget_picks_nogap(self):
+        result = recommend(0.30)
+        assert result.best == "nogap"
+
+    def test_impossible_budget_returns_none(self):
+        result = recommend(0.001)
+        assert result.best is None
+        assert all(not fit.fits for fit in result.fits)
+
+    def test_li_thin_fits_everything_small(self):
+        result = recommend(1.0, LI_THIN)
+        assert result.best == "cobcm"
+
+    def test_all_schemes_reported(self):
+        result = recommend(1.0)
+        assert [fit.scheme for fit in result.fits] == SPECTRUM_ORDER
+
+    def test_rejects_nonpositive_budget(self):
+        with pytest.raises(ValueError):
+            recommend(0.0)
+
+    def test_str_rendering(self):
+        text = str(recommend(1.0, SUPERCAP))
+        assert "recommended: cm" in text
+        assert "too big" in text
+
+    def test_str_rendering_no_fit(self):
+        assert "no scheme fits" in str(recommend(0.001))
+
+    def test_requirements_monotone_with_laziness(self):
+        result = recommend(100.0)
+        required = [fit.required_mm3 for fit in result.fits]
+        assert required == sorted(required, reverse=True)

@@ -1,0 +1,132 @@
+"""Tests for repro.security.bmf — Bonsai Merkle Forests (DBMF/SBMF)."""
+
+import pytest
+
+from repro.security.bmf import (
+    ForestTimingModel,
+    MerkleForest,
+    RootCache,
+    make_dbmf,
+    make_sbmf,
+)
+from repro.security.bmt import BonsaiMerkleTree
+
+KEY = b"integrity-key-0123456789abcdef--"
+
+
+def tree(height=8, arity=2):
+    return BonsaiMerkleTree(KEY, height=height, arity=arity)
+
+
+class TestRootCache:
+    def test_hit_after_install(self):
+        cache = RootCache(capacity_bytes=64)  # 2 roots
+        hit, evicted = cache.touch(1)
+        assert not hit and evicted is None
+        hit, _ = cache.touch(1)
+        assert hit
+
+    def test_lru_eviction(self):
+        cache = RootCache(capacity_bytes=64)  # 2 roots
+        cache.touch(1)
+        cache.touch(2)
+        cache.touch(1)  # 1 is MRU
+        _, evicted = cache.touch(3)
+        assert evicted == 2
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            RootCache(capacity_bytes=8)
+
+    def test_default_capacity_is_128_roots(self):
+        assert RootCache().capacity == 128
+
+    def test_contains_and_len(self):
+        cache = RootCache()
+        cache.touch(5)
+        assert 5 in cache
+        assert len(cache) == 1
+
+
+class TestMerkleForest:
+    def test_invalid_cut_rejected(self):
+        with pytest.raises(ValueError):
+            MerkleForest(tree(height=4), cut_height=5)
+        with pytest.raises(ValueError):
+            MerkleForest(tree(height=4), cut_height=0)
+
+    def test_hit_costs_cut_height(self):
+        forest = MerkleForest(tree(height=8, arity=2), cut_height=2)
+        forest.update_leaf(0, b"warm")  # install subtree root
+        result = forest.update_leaf(1, b"x")  # same subtree (leaves 0-3)
+        assert result.root_cache_hit
+        assert result.levels_hashed == 2
+
+    def test_miss_costs_full_height(self):
+        forest = MerkleForest(tree(height=8, arity=2), cut_height=2)
+        result = forest.update_leaf(0, b"cold")
+        assert not result.root_cache_hit
+        assert result.levels_hashed == 8
+
+    def test_eviction_adds_foldback_cost(self):
+        # 2-root cache; three distinct subtrees force an eviction.
+        forest = MerkleForest(
+            tree(height=8, arity=2), cut_height=2, root_cache_bytes=64
+        )
+        forest.update_leaf(0, b"a")   # subtree 0
+        forest.update_leaf(4, b"b")   # subtree 1
+        result = forest.update_leaf(8, b"c")  # subtree 2: evicts subtree 0
+        assert not result.root_cache_hit
+        assert result.levels_hashed == 8 + (8 - 2)
+
+    def test_functional_integrity_unchanged(self):
+        """BMF is a timing optimization: global-root verification still
+        works exactly as in the plain BMT."""
+        forest = MerkleForest(tree(height=8, arity=2), cut_height=2)
+        forest.update_leaf(3, b"v1")
+        assert forest.verify_leaf(3, b"v1")
+        forest.update_leaf(3, b"v2")
+        assert not forest.verify_leaf(3, b"v1")
+        assert forest.verify_leaf(3, b"v2")
+
+    def test_subtree_of(self):
+        forest = MerkleForest(tree(height=8, arity=2), cut_height=2)
+        assert forest.subtree_of(0) == 0
+        assert forest.subtree_of(3) == 0
+        assert forest.subtree_of(4) == 1
+
+
+class TestFactories:
+    def test_dbmf_cut_is_2(self):
+        assert make_dbmf(tree()).cut_height == 2
+
+    def test_sbmf_cut_is_5(self):
+        assert make_sbmf(tree()).cut_height == 5
+
+
+class TestForestTimingModel:
+    def test_invalid_cut_rejected(self):
+        with pytest.raises(ValueError):
+            ForestTimingModel(full_height=8, cut_height=9)
+
+    def test_hit_and_miss_levels(self):
+        model = ForestTimingModel(full_height=8, cut_height=2, subtree_leaf_pages=4)
+        assert model.levels(0) == 8  # cold miss
+        assert model.levels(1) == 2  # same subtree: hit
+        assert model.levels(3) == 2
+
+    def test_eviction_foldback(self):
+        model = ForestTimingModel(
+            full_height=8, cut_height=5, subtree_leaf_pages=1, root_cache_bytes=64
+        )
+        model.levels(0)
+        model.levels(1)
+        assert model.levels(2) == 8 + 3  # evicts subtree 0, folds it back
+
+    def test_steady_state_dbmf_is_cheap(self):
+        """With a working set inside the root cache, almost every update
+        costs only the cut height — the Fig. 9 speedup mechanism."""
+        model = ForestTimingModel(full_height=8, cut_height=2)
+        model.levels(0)
+        costs = [model.levels(i % 50) for i in range(500)]
+        assert sum(costs) / len(costs) < 3.0

@@ -1,0 +1,149 @@
+"""Tests for repro.security.bmt — the Bonsai Merkle Tree."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.security.bmt import BonsaiMerkleTree
+
+KEY = b"integrity-key-0123456789abcdef--"
+
+
+def tree(height=3, arity=4):
+    return BonsaiMerkleTree(KEY, height=height, arity=arity)
+
+
+class TestConstruction:
+    def test_capacity(self):
+        assert tree(height=3, arity=4).capacity == 64
+        assert BonsaiMerkleTree(KEY, height=8, arity=8).capacity == 8**8
+
+    def test_invalid_height_rejected(self):
+        with pytest.raises(ValueError):
+            BonsaiMerkleTree(KEY, height=0)
+
+    def test_invalid_arity_rejected(self):
+        with pytest.raises(ValueError):
+            BonsaiMerkleTree(KEY, arity=1)
+
+    def test_empty_tree_has_stable_root(self):
+        assert tree().root == tree().root
+
+
+class TestUpdateVerify:
+    def test_update_changes_root(self):
+        t = tree()
+        before = t.root
+        t.update_leaf(0, b"payload-0")
+        assert t.root != before
+
+    def test_verify_accepts_current_leaf(self):
+        t = tree()
+        t.update_leaf(5, b"payload-5")
+        assert t.verify_leaf(5, b"payload-5")
+
+    def test_verify_rejects_wrong_payload(self):
+        t = tree()
+        t.update_leaf(5, b"payload-5")
+        assert not t.verify_leaf(5, b"payload-X")
+
+    def test_verify_rejects_stale_leaf_after_update(self):
+        """Replay protection: an old counter-block value fails against the
+        new root."""
+        t = tree()
+        t.update_leaf(5, b"version-1")
+        t.update_leaf(5, b"version-2")
+        assert not t.verify_leaf(5, b"version-1")
+        assert t.verify_leaf(5, b"version-2")
+
+    def test_verify_rejects_transplanted_leaf(self):
+        """The same payload installed at leaf 3 must not verify at leaf 7."""
+        t = tree()
+        t.update_leaf(3, b"payload")
+        assert not t.verify_leaf(7, b"payload")
+
+    def test_unwritten_sibling_leaves_verify_as_empty(self):
+        t = tree()
+        t.update_leaf(0, b"payload")
+        assert not t.verify_leaf(1, b"payload")
+
+    def test_update_path_length_is_height(self):
+        t = tree(height=3)
+        path = t.update_leaf(0, b"x")
+        assert len(path) == 3
+        assert path[-1].level == 3 and path[-1].index == 0
+
+    def test_path_of_out_of_range_rejected(self):
+        with pytest.raises(IndexError):
+            tree().path_of(10**9)
+
+    def test_verify_out_of_range_rejected(self):
+        with pytest.raises(IndexError):
+            tree().verify_leaf(10**9, b"x")
+
+    def test_node_hash_count_accumulates(self):
+        t = tree(height=3)
+        t.update_leaf(0, b"a")
+        t.update_leaf(1, b"b")
+        assert t.node_hashes == 6
+        assert t.leaf_updates == 2
+
+
+class TestCorruption:
+    def test_corrupt_root_breaks_verification(self):
+        t = tree()
+        t.update_leaf(0, b"payload")
+        t.corrupt_root(b"\x00" * 32)
+        assert not t.verify_leaf(0, b"payload")
+
+
+class TestSnapshotRestore:
+    def test_roundtrip(self):
+        t = tree()
+        t.update_leaf(0, b"v1")
+        snap = t.snapshot()
+        t.update_leaf(0, b"v2")
+        t.restore(snap)
+        assert t.verify_leaf(0, b"v1")
+        assert not t.verify_leaf(0, b"v2")
+
+    def test_snapshot_is_independent(self):
+        t = tree()
+        t.update_leaf(0, b"v1")
+        snap = t.snapshot()
+        t.update_leaf(1, b"other")
+        nodes, root = snap
+        assert (0, 1) not in nodes or root != t.root
+
+
+class TestPropertyBased:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 63), st.binary(min_size=1, max_size=72)),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_latest_payloads_always_verify(self, updates):
+        """Invariant: after any update sequence, the latest payload of
+        every touched leaf verifies and stale payloads do not."""
+        t = tree(height=3, arity=4)
+        latest = {}
+        for leaf, payload in updates:
+            t.update_leaf(leaf, payload)
+            latest[leaf] = payload
+        for leaf, payload in latest.items():
+            assert t.verify_leaf(leaf, payload)
+
+    @given(st.lists(st.integers(0, 63), min_size=2, max_size=20, unique=True))
+    @settings(max_examples=25, deadline=None)
+    def test_distinct_contents_distinct_roots(self, leaves):
+        """Different update targets lead to different roots."""
+        t1 = tree(height=3, arity=4)
+        t2 = tree(height=3, arity=4)
+        for leaf in leaves:
+            t1.update_leaf(leaf, b"p")
+        for leaf in leaves[:-1]:
+            t2.update_leaf(leaf, b"p")
+        assert t1.root != t2.root

@@ -1,0 +1,141 @@
+"""Tests for repro.sim.cache — LRU, states, persist-dirty silent discard."""
+
+import pytest
+
+from repro.sim.cache import AccessOutcome, BlockState, Cache
+from repro.sim.config import CacheConfig
+from repro.sim.stats import StatsCollector
+
+
+def tiny_cache(ways=2, sets=2):
+    config = CacheConfig("T", size_bytes=64 * ways * sets, ways=ways)
+    return Cache(config, StatsCollector())
+
+
+class TestBasicAccess:
+    def test_first_access_misses_then_hits(self):
+        cache = tiny_cache()
+        outcome, _ = cache.access(0x40, is_write=False)
+        assert outcome is AccessOutcome.MISS
+        outcome, _ = cache.access(0x40, is_write=False)
+        assert outcome is AccessOutcome.HIT
+
+    def test_same_block_different_bytes_hit(self):
+        cache = tiny_cache()
+        cache.access(0x40, is_write=False)
+        outcome, _ = cache.access(0x7F, is_write=False)
+        assert outcome is AccessOutcome.HIT
+
+    def test_read_fill_state_is_exclusive(self):
+        cache = tiny_cache()
+        cache.access(0x40, is_write=False)
+        assert cache.lookup(0x40).state is BlockState.EXCLUSIVE
+
+    def test_write_fill_state_is_modified(self):
+        cache = tiny_cache()
+        cache.access(0x40, is_write=True)
+        assert cache.lookup(0x40).state is BlockState.MODIFIED
+
+    def test_persistent_write_state_is_persist_dirty(self):
+        cache = tiny_cache()
+        cache.access(0x40, is_write=True, persist_region=True)
+        assert cache.lookup(0x40).state is BlockState.PERSIST_DIRTY
+
+    def test_contains(self):
+        cache = tiny_cache()
+        assert not cache.contains(0x40)
+        cache.access(0x40, is_write=False)
+        assert cache.contains(0x40)
+
+
+class TestLRU:
+    def test_lru_victim_is_least_recently_used(self):
+        cache = tiny_cache(ways=2, sets=1)
+        cache.access(0 * 64, is_write=False)
+        cache.access(1 * 64, is_write=False)
+        cache.access(0 * 64, is_write=False)  # touch 0: now MRU
+        _, eviction = cache.access(2 * 64, is_write=False)
+        assert eviction is not None
+        assert eviction.block_addr == 1  # block 1 was LRU
+
+    def test_occupancy_bounded_by_ways(self):
+        cache = tiny_cache(ways=2, sets=1)
+        for i in range(5):
+            cache.access(i * 64, is_write=False)
+        assert cache.occupancy() == 2
+
+
+class TestEvictionSemantics:
+    def test_modified_victim_requires_writeback(self):
+        cache = tiny_cache(ways=1, sets=1)
+        cache.access(0, is_write=True)
+        _, eviction = cache.access(64, is_write=False)
+        assert eviction.writeback_required
+
+    def test_persist_dirty_victim_is_silently_discarded(self):
+        """Sec. IV-C-a: SecPB-guaranteed blocks discard silently on LLC
+        eviction instead of writing back."""
+        cache = tiny_cache(ways=1, sets=1)
+        cache.access(0, is_write=True, persist_region=True)
+        _, eviction = cache.access(64, is_write=False)
+        assert eviction is not None
+        assert not eviction.writeback_required
+        assert cache.stats.get("cache.T.silent_discards") == 1
+
+    def test_clean_victim_has_no_writeback(self):
+        cache = tiny_cache(ways=1, sets=1)
+        cache.access(0, is_write=False)
+        _, eviction = cache.access(64, is_write=False)
+        assert not eviction.writeback_required
+
+
+class TestStateTransitions:
+    def test_downgrade_to_shared(self):
+        cache = tiny_cache()
+        cache.access(0x40, is_write=True)
+        cache.downgrade(0x40)
+        assert cache.lookup(0x40).state is BlockState.SHARED
+
+    def test_invalidate_removes_block(self):
+        cache = tiny_cache()
+        cache.access(0x40, is_write=True)
+        removed = cache.invalidate(0x40)
+        assert removed is not None
+        assert not cache.contains(0x40)
+
+    def test_invalidate_missing_returns_none(self):
+        assert tiny_cache().invalidate(0x40) is None
+
+
+class TestCrashSemantics:
+    def test_flush_all_counts_lost_modified_blocks(self):
+        cache = tiny_cache()
+        cache.access(0 * 64, is_write=True)  # MODIFIED: lost
+        cache.access(1 * 64, is_write=True, persist_region=True)  # PD: safe
+        cache.access(2 * 64, is_write=False)  # clean
+        lost = cache.flush_all()
+        assert lost == 1
+        assert cache.occupancy() == 0
+
+    def test_persist_dirty_never_counts_as_lost(self):
+        """The whole point of the SecPB: persistent-region data in caches
+        is already persisted, so losing the cached copy loses nothing."""
+        cache = tiny_cache()
+        for i in range(4):
+            cache.access(i * 64, is_write=True, persist_region=True)
+        assert cache.flush_all() == 0
+
+
+class TestDirtyIteration:
+    def test_dirty_blocks_iterates_m_and_pd(self):
+        cache = tiny_cache()
+        cache.access(0 * 64, is_write=True)
+        cache.access(1 * 64, is_write=True, persist_region=True)
+        cache.access(2 * 64, is_write=False)
+        states = {b.state for b in cache.dirty_blocks()}
+        assert states == {BlockState.MODIFIED, BlockState.PERSIST_DIRTY}
+
+
+def test_non_power_of_two_block_rejected():
+    with pytest.raises(ValueError):
+        Cache(CacheConfig("bad", size_bytes=60 * 4, ways=2, block_bytes=60))

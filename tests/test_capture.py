@@ -1,0 +1,114 @@
+"""Tests for repro.workloads.capture — application trace capture."""
+
+import pytest
+
+from repro.core.crash import SecurePersistentSystem
+from repro.core.schemes import get_scheme
+from repro.core.simulator import run_scheme
+from repro.workloads.capture import TracedPersistentHeap
+
+
+class TestAllocation:
+    def test_allocations_are_block_aligned_and_disjoint(self):
+        heap = TracedPersistentHeap()
+        a = heap.allocate("a", 100)  # 2 blocks
+        b = heap.allocate("b", 64)  # 1 block
+        assert a.base_block == 0
+        assert a.num_blocks == 2
+        assert b.base_block == 2
+
+    def test_duplicate_name_rejected(self):
+        heap = TracedPersistentHeap()
+        heap.allocate("a", 64)
+        with pytest.raises(ValueError, match="already allocated"):
+            heap.allocate("a", 64)
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            TracedPersistentHeap().allocate("a", 0)
+
+    def test_lookup_by_name(self):
+        heap = TracedPersistentHeap()
+        obj = heap.allocate("x", 64)
+        assert heap.object("x") is obj
+
+
+class TestReadWrite:
+    def test_write_then_read_roundtrip(self):
+        heap = TracedPersistentHeap()
+        obj = heap.allocate("a", 256)
+        heap.write(obj, 10, b"hello")
+        assert heap.read(obj, 10, 5) == b"hello"
+
+    def test_cross_block_write(self):
+        heap = TracedPersistentHeap()
+        obj = heap.allocate("a", 256)
+        payload = bytes(range(100))
+        heap.write(obj, 30, payload)  # spans blocks 0 and 1 and 2
+        assert heap.read(obj, 30, 100) == payload
+
+    def test_out_of_bounds_rejected(self):
+        heap = TracedPersistentHeap()
+        obj = heap.allocate("a", 64)
+        with pytest.raises(ValueError, match="outside"):
+            heap.write(obj, 60, b"too-long")
+        with pytest.raises(ValueError):
+            heap.read(obj, -1, 4)
+
+    def test_unwritten_bytes_read_zero(self):
+        heap = TracedPersistentHeap()
+        obj = heap.allocate("a", 64)
+        assert heap.read(obj, 0, 4) == b"\x00" * 4
+
+
+class TestTraceProduction:
+    def test_ops_recorded_per_block(self):
+        heap = TracedPersistentHeap()
+        obj = heap.allocate("a", 256)
+        heap.write(obj, 0, b"x" * 64)  # 1 block
+        heap.write(obj, 60, b"y" * 10)  # spans 2 blocks
+        heap.read(obj, 0, 4)  # 1 block
+        assert heap.ops_recorded == 4
+
+    def test_finish_produces_replayable_trace(self):
+        heap = TracedPersistentHeap(compute_gap=3)
+        obj = heap.allocate("a", 1024)
+        for i in range(50):
+            heap.write(obj, (i * 8) % 1024, b"12345678")
+        trace = heap.finish("app")
+        assert trace.name == "app"
+        assert trace.num_stores == 50 + sum(
+            1 for i in range(50) if (i * 8) % 1024 + 8 > 1024
+        )
+        result = run_scheme(trace, get_scheme("cobcm"))
+        assert result.cycles > 0
+
+    def test_finish_freezes_heap(self):
+        heap = TracedPersistentHeap()
+        obj = heap.allocate("a", 64)
+        heap.finish()
+        with pytest.raises(RuntimeError, match="finished"):
+            heap.write(obj, 0, b"x")
+
+    def test_empty_trace(self):
+        trace = TracedPersistentHeap().finish("empty")
+        assert len(trace) == 0
+
+    def test_gap_parameter_validated(self):
+        with pytest.raises(ValueError):
+            TracedPersistentHeap(compute_gap=-1)
+
+
+class TestMirroring:
+    def test_mirrored_writes_are_crash_recoverable(self):
+        """The same captured run exercises crash recovery end to end."""
+        system = SecurePersistentSystem(get_scheme("cobcm"))
+        heap = TracedPersistentHeap(mirror_system=system)
+        obj = heap.allocate("records", 4096)
+        for i in range(40):
+            heap.write(obj, i * 64, bytes([i]) * 64)
+        system.crash()
+        recovery = system.recover()
+        assert recovery.ok, recovery.failure_summary()
+        recovered = system.memory.recover_block(obj.base_block + 7)
+        assert recovered.plaintext == bytes([7]) * 64

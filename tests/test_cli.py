@@ -1,0 +1,94 @@
+"""Tests for repro.cli — the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "table99"])
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "not-a-benchmark"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "cobcm" in out
+        assert "table4" in out
+        assert "gamess" in out
+
+    def test_advisor(self, capsys):
+        assert main(["advisor", "1.0"]) == 0
+        out = capsys.readouterr().out
+        assert "recommended: cm" in out
+
+    def test_advisor_li_thin_with_store_buffer(self, capsys):
+        assert main(["advisor", "1.0", "--technology", "li-thin", "--store-buffer"]) == 0
+        assert "Li-Thin" in capsys.readouterr().out
+
+    def test_recover_demo(self, capsys):
+        assert main(["recover-demo", "--scheme", "cobcm"]) == 0
+        out = capsys.readouterr().out
+        assert "recovery ok: True" in out
+        assert "failed for 64/64" in out
+
+    def test_simulate_single_scheme(self, capsys):
+        assert (
+            main(
+                [
+                    "simulate",
+                    "leslie3d",
+                    "--scheme",
+                    "cm",
+                    "--num-ops",
+                    "2000",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "bbb" in out
+        assert "cm" in out
+        assert "overhead" in out
+
+    def test_experiment_table5(self, capsys):
+        assert main(["experiment", "table5"]) == 0
+        assert "s_eadr" in capsys.readouterr().out
+
+    def test_experiment_table4_small(self, capsys):
+        assert main(["experiment", "table4", "--num-ops", "1500"]) == 0
+        assert "cobcm" in capsys.readouterr().out
+
+
+class TestExtensionCommands:
+    def test_recovery_time(self, capsys):
+        from repro.cli import main
+
+        assert main(["recovery-time", "--entries", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "cobcm" in out and "us total" in out
+
+    def test_multicore(self, capsys):
+        from repro.cli import main
+
+        assert main(["multicore", "--scheme", "cobcm", "--num-ops", "600"]) == 0
+        out = capsys.readouterr().out
+        assert "8 core(s)" in out
+        assert "migrations" in out
+
+    def test_workloads(self, capsys):
+        from repro.cli import main
+
+        assert main(["workloads", "--num-ops", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "gamess" in out and "NWPE" in out

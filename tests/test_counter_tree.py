@@ -1,0 +1,158 @@
+"""Tests for repro.security.counter_tree — the SGX-style counter tree."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.security.bmt import BonsaiMerkleTree
+from repro.security.counter_tree import SgxCounterTree
+
+KEY = b"counter-tree-key-0123456789abcdef"
+
+
+def tree(height=3, arity=4, counter_bits=56):
+    return SgxCounterTree(KEY, height=height, arity=arity, counter_bits=counter_bits)
+
+
+class TestConstruction:
+    def test_capacity(self):
+        assert tree(height=3, arity=4).capacity == 64
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            SgxCounterTree(KEY, height=0)
+        with pytest.raises(ValueError):
+            SgxCounterTree(KEY, arity=1)
+
+    def test_out_of_range_leaf(self):
+        with pytest.raises(IndexError):
+            tree().update_leaf(10**9, b"x")
+        with pytest.raises(IndexError):
+            tree().verify_leaf(10**9, b"x")
+
+
+class TestUpdateVerify:
+    def test_update_then_verify(self):
+        t = tree()
+        t.update_leaf(5, b"payload")
+        assert t.verify_leaf(5, b"payload")
+
+    def test_wrong_payload_fails(self):
+        t = tree()
+        t.update_leaf(5, b"payload")
+        assert not t.verify_leaf(5, b"other")
+
+    def test_stale_payload_fails_after_update(self):
+        t = tree()
+        t.update_leaf(5, b"v1")
+        t.update_leaf(5, b"v2")
+        assert not t.verify_leaf(5, b"v1")
+        assert t.verify_leaf(5, b"v2")
+
+    def test_unwritten_leaf_fails(self):
+        assert not tree().verify_leaf(3, b"anything")
+
+    def test_update_recomputes_one_mac_per_level(self):
+        t = tree(height=3)
+        assert t.update_leaf(0, b"x") == 4  # leaf + 3 node MACs
+
+    def test_root_counter_increments_per_update(self):
+        t = tree()
+        t.update_leaf(0, b"a")
+        t.update_leaf(1, b"b")
+        assert t.root_counter == 2
+
+    def test_sibling_updates_do_not_invalidate(self):
+        t = tree()
+        t.update_leaf(0, b"a")
+        t.update_leaf(1, b"b")
+        assert t.verify_leaf(0, b"a")
+        assert t.verify_leaf(1, b"b")
+
+
+class TestReplayDetection:
+    def test_node_rollback_detected(self):
+        """Replaying an old interior node fails its parent-keyed MAC."""
+        t = tree()
+        t.update_leaf(0, b"v1")
+        old_node = t.snapshot_node(1, 0)
+        t.update_leaf(0, b"v2")
+        t.rollback_node(1, 0, old_node)
+        assert not t.verify_leaf(0, b"v2")
+        assert not t.verify_leaf(0, b"v1")
+
+
+class TestCounterOverflow:
+    def test_narrow_counters_force_reepoch(self):
+        t = tree(counter_bits=2)  # limit 3
+        for i in range(5):
+            t.update_leaf(0, bytes([i]))
+        assert t.reepochs > 0
+        assert t.verify_leaf(0, bytes([4]))
+
+
+class TestVsBmt:
+    def test_verification_fetch_advantage(self):
+        """The counter tree verifies with one node per level; the BMT needs
+        all siblings per level."""
+        ctr = tree(height=8, arity=8)
+        bmt = BonsaiMerkleTree(KEY, height=8, arity=8)
+        assert ctr.verify_fetches() == 9
+        bmt_fetches = bmt.height * bmt.arity  # children read per level
+        assert ctr.verify_fetches() < bmt_fetches
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 63), st.binary(min_size=1, max_size=32)),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_agreement_with_bmt_semantics(self, updates):
+        """Property: both trees accept the latest payloads and reject
+        stale ones, over any update sequence."""
+        ctr = tree(height=3, arity=4)
+        bmt = BonsaiMerkleTree(KEY, height=3, arity=4)
+        latest = {}
+        for leaf, payload in updates:
+            ctr.update_leaf(leaf, payload)
+            bmt.update_leaf(leaf, payload)
+            latest[leaf] = payload
+        for leaf, payload in latest.items():
+            assert ctr.verify_leaf(leaf, payload)
+            assert bmt.verify_leaf(leaf, payload)
+            assert ctr.verify_leaf(leaf, payload + b"!") is False
+            assert bmt.verify_leaf(leaf, payload + b"!") is False
+
+
+class TestAsIntegrityEngine:
+    def test_secure_memory_works_with_counter_tree(self):
+        """The counter tree drops into the crypto engine in place of the
+        BMT: persistence and recovery still verify end to end."""
+        from repro.security.engine import CryptoEngine, SecureMemory
+
+        engine = CryptoEngine(tree=SgxCounterTree(KEY, height=4, arity=8))
+        memory = SecureMemory(engine=engine, atomic=True)
+        for i in range(20):
+            memory.persist_block(i, bytes([i]) * 64)
+        for i in range(20):
+            recovered = memory.recover_block(i)
+            assert recovered.ok
+            assert recovered.plaintext == bytes([i]) * 64
+
+    def test_counter_replay_detected_with_counter_tree(self):
+        from repro.security.engine import CryptoEngine, SecureMemory
+
+        engine = CryptoEngine(tree=SgxCounterTree(KEY, height=4, arity=8))
+        memory = SecureMemory(engine=engine, atomic=True)
+        memory.persist_block(0, b"a" * 64)
+        old = memory.counters.page(0).copy()
+        memory.persist_block(0, b"b" * 64)
+        memory.replay_counter(0, old)
+        from repro.security.engine import RecoveryStatus
+
+        assert (
+            memory.recover_block(0).status
+            is RecoveryStatus.COUNTER_INTEGRITY_FAILURE
+        )

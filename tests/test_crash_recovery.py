@@ -1,0 +1,287 @@
+"""End-to-end crash/recovery tests — the paper's central claims.
+
+* Every SecPB scheme yields fully verifiable, correct plaintext after a
+  crash (the battery drains + sec-syncs).
+* The naive persistent hierarchy (PoP up, SPoP at the MC) fails recovery —
+  the recoverability gap of Fig. 1(b).
+* The threat model's attacks (tamper, splice, counter replay) are detected.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.bbb import PlaintextPersistentSystem
+from repro.core.crash import (
+    AppCrashPolicy,
+    GappedPersistentSystem,
+    SecurePersistentSystem,
+)
+from repro.core.recovery import ObserverPolicy, RecoveryBlocked
+from repro.core.schemes import SPECTRUM_ORDER, get_scheme
+from repro.security.engine import RecoveryStatus
+
+
+def blk(i):
+    return bytes([i % 251, (i * 7) % 251]) * 32
+
+
+class TestSchemesRecover:
+    @pytest.mark.parametrize("name", SPECTRUM_ORDER)
+    def test_crash_recovery_roundtrip(self, name):
+        """Invariant 1 end to end: every store that reached the SecPB is
+        recoverable with integrity intact, for every scheme."""
+        system = SecurePersistentSystem(get_scheme(name))
+        for i in range(120):
+            system.store(i % 50, blk(i))
+        report = system.crash()
+        assert report.invariants_ok, report.invariant_violation
+        recovery = system.recover()
+        assert recovery.ok, recovery.failure_summary()
+        assert recovery.blocks_checked == 50
+
+    @pytest.mark.parametrize("name", ["cobcm", "nogap"])
+    def test_recovered_plaintext_matches_last_store(self, name):
+        system = SecurePersistentSystem(get_scheme(name))
+        system.store(7, blk(1))
+        system.store(7, blk(2))  # overwrites
+        system.crash()
+        recovery = system.recover()
+        verdict = recovery.verdicts[0]
+        assert verdict.matches_expected
+        recovered = system.memory.recover_block(7)
+        assert recovered.plaintext == blk(2)
+
+    def test_crash_with_empty_secpb(self):
+        system = SecurePersistentSystem(get_scheme("cobcm"))
+        system.store(1, blk(1))
+        system.flush()
+        report = system.crash()
+        assert report.entries_drained == 0
+        assert system.recover().ok
+
+    def test_late_steps_counted(self):
+        system = SecurePersistentSystem(get_scheme("cobcm"))
+        system.store(1, blk(1))
+        system.store(2, blk(2))
+        report = system.crash()
+        assert report.entries_drained == 2
+        assert report.late_steps_completed == 2 * 5  # all five steps late
+
+    def test_nogap_has_no_late_steps(self):
+        system = SecurePersistentSystem(get_scheme("nogap"))
+        system.store(1, blk(1))
+        report = system.crash()
+        assert report.late_steps_completed == 0
+
+    def test_store_after_crash_rejected(self):
+        system = SecurePersistentSystem(get_scheme("cobcm"))
+        system.store(1, blk(1))
+        system.crash()
+        with pytest.raises(RuntimeError, match="crashed"):
+            system.store(2, blk(2))
+
+    def test_store_rejects_wrong_size(self):
+        system = SecurePersistentSystem(get_scheme("cobcm"))
+        with pytest.raises(ValueError, match="block-granular"):
+            system.store(1, b"short")
+
+    def test_many_stores_spill_through_watermarks(self):
+        """Stores far beyond SecPB capacity drain through the MC and stay
+        recoverable."""
+        system = SecurePersistentSystem(get_scheme("cm"))
+        for i in range(500):
+            system.store(i, blk(i))
+        system.crash()
+        recovery = system.recover()
+        assert recovery.ok, recovery.failure_summary()
+        assert recovery.blocks_checked == 500
+
+
+class TestRecoverabilityGap:
+    def test_gapped_system_fails_recovery(self):
+        """Fig. 1(b): metadata stuck in volatile caches at crash time makes
+        recovery fail."""
+        system = GappedPersistentSystem()
+        for i in range(20):
+            system.store(i, blk(i))
+        system.crash()
+        recovery = system.recover()
+        assert not recovery.ok
+        assert len(recovery.failures) == 20
+
+    def test_gapped_system_recovers_if_metadata_written_back_in_time(self):
+        system = GappedPersistentSystem()
+        for i in range(20):
+            system.store(i, blk(i))
+        system.writeback_metadata()
+        system.crash()
+        assert system.recover().ok
+
+    def test_gap_failure_mode_is_stale_metadata(self):
+        """Re-writing after a writeback leaves durable metadata one version
+        behind: the MAC check must fail (wrong plaintext would decrypt)."""
+        system = GappedPersistentSystem()
+        system.store(3, blk(1))
+        system.writeback_metadata()
+        system.store(3, blk(2))  # counter bump only in volatile overlay
+        system.crash()
+        recovered = system.memory.recover_block(3)
+        assert recovered.status is RecoveryStatus.MAC_FAILURE
+
+    def test_never_written_back_metadata_is_absent(self):
+        system = GappedPersistentSystem()
+        system.store(3, blk(1))
+        system.crash()
+        recovered = system.memory.recover_block(3)
+        assert recovered.status is RecoveryStatus.NOT_PRESENT
+
+
+class TestAttackDetection:
+    def _recovered_system(self):
+        system = SecurePersistentSystem(get_scheme("cobcm"))
+        for i in range(10):
+            system.store(i, blk(i))
+        system.crash()
+        return system
+
+    def test_tampered_ciphertext_detected(self):
+        system = self._recovered_system()
+        system.memory.tamper_data(3, b"\xff" * 64)
+        recovered = system.memory.recover_block(3)
+        assert recovered.status is RecoveryStatus.MAC_FAILURE
+
+    def test_spliced_ciphertext_detected(self):
+        system = self._recovered_system()
+        system.memory.splice_data(from_addr=2, to_addr=3)
+        recovered = system.memory.recover_block(3)
+        assert recovered.status is RecoveryStatus.MAC_FAILURE
+
+    def test_replayed_counter_detected_by_bmt(self):
+        """Rolling a counter block back to an old version must fail the
+        BMT check against the on-chip root register."""
+        system = SecurePersistentSystem(get_scheme("cobcm"))
+        system.store(3, blk(1))
+        system.flush()
+        old_counters = system.memory.counters.page(0).copy()
+        system.store(3, blk(2))
+        system.crash()
+        system.memory.replay_counter(0, old_counters)
+        recovered = system.memory.recover_block(3)
+        assert recovered.status is RecoveryStatus.COUNTER_INTEGRITY_FAILURE
+
+    def test_untouched_blocks_still_recover_after_attack(self):
+        system = self._recovered_system()
+        system.memory.tamper_data(3, b"\xff" * 64)
+        assert system.memory.recover_block(4).ok
+
+
+class TestAppCrashPolicies:
+    def test_drain_all_drains_everything(self):
+        system = SecurePersistentSystem(get_scheme("cobcm"))
+        system.store(1, blk(1), asid=1)
+        system.store(2, blk(2), asid=2)
+        report = system.app_crash(asid=1, policy=AppCrashPolicy.DRAIN_ALL)
+        assert report.entries_drained == 2
+        assert system.secpb.occupancy == 0
+
+    def test_drain_process_preserves_other_processes(self):
+        """Sec. III-B: drain-process keeps other ASIDs' coalescing."""
+        system = SecurePersistentSystem(get_scheme("cobcm"))
+        system.store(1, blk(1), asid=1)
+        system.store(2, blk(2), asid=2)
+        report = system.app_crash(asid=1, policy=AppCrashPolicy.DRAIN_PROCESS)
+        assert report.entries_drained == 1
+        assert system.secpb.occupancy == 1
+        assert system.secpb.lookup(2) is not None
+
+    def test_app_crash_keeps_system_alive(self):
+        system = SecurePersistentSystem(get_scheme("cobcm"))
+        system.store(1, blk(1), asid=1)
+        system.app_crash(asid=1)
+        system.store(2, blk(2), asid=1)  # machine still up
+        system.crash()
+        assert system.recover().ok
+
+    def test_drained_process_data_is_recoverable(self):
+        system = SecurePersistentSystem(get_scheme("cobcm"))
+        system.store(1, blk(1), asid=1)
+        system.app_crash(asid=1, policy=AppCrashPolicy.DRAIN_PROCESS)
+        recovered = system.memory.recover_block(1)
+        assert recovered.ok and recovered.plaintext == blk(1)
+
+
+class TestObserverPolicies:
+    def test_blocking_policy_refuses_open_gap(self):
+        system = SecurePersistentSystem(
+            get_scheme("cobcm"), observer_policy=ObserverPolicy.BLOCKING
+        )
+        system.store(1, blk(1))
+        # No crash: the SecPB still holds the entry -> gap open.
+        with pytest.raises(RecoveryBlocked):
+            system.recover()
+
+    def test_warning_policy_flags_inconsistency(self):
+        system = SecurePersistentSystem(
+            get_scheme("cobcm"), observer_policy=ObserverPolicy.WARNING
+        )
+        system.store(1, blk(1))
+        recovery = system.recover()
+        assert not recovery.consistent_at_read
+        assert not recovery.ok
+
+    def test_after_crash_gap_is_closed(self):
+        system = SecurePersistentSystem(
+            get_scheme("cobcm"), observer_policy=ObserverPolicy.BLOCKING
+        )
+        system.store(1, blk(1))
+        system.crash()
+        assert system.recover().ok
+
+
+class TestBBBPlaintextExposure:
+    def test_bbb_recovers_but_leaks_plaintext(self):
+        """BBB's crash consistency works — and the attacker's PM scan sees
+        every value verbatim (the confidentiality gap SecPB closes)."""
+        bbb = PlaintextPersistentSystem()
+        secret = b"top-secret-data!".ljust(64, b"\x00")
+        bbb.store(1, secret)
+        bbb.crash()
+        assert bbb.recover()[1] == secret
+        assert bbb.attacker_scan()[1] == secret  # leaked!
+
+    def test_secpb_attacker_scan_sees_only_ciphertext(self):
+        system = SecurePersistentSystem(get_scheme("cobcm"))
+        secret = b"top-secret-data!".ljust(64, b"\x00")
+        system.store(1, secret)
+        system.crash()
+        stored = system.memory.nvm.read_block(1)
+        assert stored != secret  # encrypted at rest
+        assert system.memory.recover_block(1).plaintext == secret
+
+
+class TestPropertyBased:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 40), st.integers(0, 255)),
+            min_size=1,
+            max_size=80,
+        ),
+        st.sampled_from(SPECTRUM_ORDER),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_any_store_sequence_recovers(self, stores, scheme_name):
+        """Property: for any store sequence and any scheme, post-crash
+        recovery yields the last-written value of every block."""
+        system = SecurePersistentSystem(get_scheme(scheme_name))
+        latest = {}
+        for addr, value in stores:
+            payload = bytes([value]) * 64
+            system.store(addr, payload)
+            latest[addr] = payload
+        report = system.crash()
+        assert report.invariants_ok
+        recovery = system.recover()
+        assert recovery.ok, recovery.failure_summary()
+        for addr, payload in latest.items():
+            assert system.memory.recover_block(addr).plaintext == payload

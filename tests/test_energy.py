@@ -1,0 +1,193 @@
+"""Tests for repro.energy and baselines.eadr — Tables III, V, VI."""
+
+import pytest
+
+from repro.baselines.eadr import (
+    eadr_drain_energy_nj,
+    estimate_eadr,
+    estimate_secure_eadr,
+    secure_eadr_drain_energy_nj,
+)
+from repro.core.schemes import SPECTRUM_ORDER, get_scheme
+from repro.energy.battery import (
+    bbb_drain_energy_nj,
+    entry_field_moves,
+    entry_late_work,
+    estimate_bbb,
+    estimate_scheme,
+    full_tuple_energy,
+    secpb_drain_energy_nj,
+    size_sweep,
+)
+from repro.energy.costs import (
+    CORE_AREA_MM2,
+    LI_THIN,
+    SUPERCAP,
+    EnergyCosts,
+    footprint_ratio_pct,
+)
+from repro.sim.config import SECPB_SIZE_SWEEP, SystemConfig
+
+
+class TestTable3Constants:
+    def test_per_block_values(self):
+        costs = EnergyCosts()
+        assert costs.move_secpb_block_nj == pytest.approx(11.839 * 64)
+        assert costs.move_pm_block_nj == pytest.approx(11.228 * 64)
+        assert costs.sha_block_nj == pytest.approx(79.29 * 64)
+        assert costs.aes_block_nj == pytest.approx(30.0 * 64)
+
+
+class TestBatteryTechnology:
+    def test_supercap_vs_li_thin_ratio_is_100x(self):
+        energy = 1e6
+        assert SUPERCAP.volume_mm3(energy) == pytest.approx(
+            100 * LI_THIN.volume_mm3(energy)
+        )
+
+    def test_negative_energy_rejected(self):
+        with pytest.raises(ValueError):
+            SUPERCAP.volume_mm3(-1)
+
+    def test_footprint_ratio_is_cube_face(self):
+        # 8 mm^3 cube -> 4 mm^2 face
+        assert footprint_ratio_pct(8.0) == pytest.approx(100 * 4.0 / CORE_AREA_MM2)
+
+    def test_footprint_rejects_negative(self):
+        with pytest.raises(ValueError):
+            footprint_ratio_pct(-1.0)
+
+
+class TestSchemeDrainEnergy:
+    def test_lazier_schemes_need_more_battery(self):
+        """Table V's central trend: the more work deferred post-crash, the
+        bigger the battery."""
+        energies = [
+            secpb_drain_energy_nj(get_scheme(name)) for name in SPECTRUM_ORDER
+        ]
+        # SPECTRUM_ORDER is laziest first: energies must be non-increasing.
+        assert all(a >= b for a, b in zip(energies, energies[1:]))
+
+    def test_bcm_to_cm_is_the_big_drop(self):
+        """Sec. VI-C: removing the late BMT update shrinks the battery ~6.5x."""
+        bcm = secpb_drain_energy_nj(get_scheme("bcm"))
+        cm = secpb_drain_energy_nj(get_scheme("cm"))
+        assert 4.0 < bcm / cm < 9.0
+
+    def test_bbb_smallest(self):
+        bbb = bbb_drain_energy_nj()
+        nogap = secpb_drain_energy_nj(get_scheme("nogap"))
+        assert bbb < nogap
+
+    def test_pending_update_adds_one_tuple(self):
+        cfg = SystemConfig()
+        costs = EnergyCosts()
+        without = secpb_drain_energy_nj(get_scheme("cm"), cfg, costs, pending_updates=0)
+        with_one = secpb_drain_energy_nj(get_scheme("cm"), cfg, costs, pending_updates=1)
+        assert with_one - without == pytest.approx(
+            full_tuple_energy(costs, cfg.security.bmt_levels)
+        )
+
+    def test_field_moves_follow_fig5(self):
+        costs = EnergyCosts()
+        block = costs.move_secpb_block_nj
+        # COBCM: plaintext only; NoGap: Dc + M; M: Dc only (MAC is late);
+        # CM/BCM: Dp + O (the MC XORs the pre-computed pad).
+        assert entry_field_moves(get_scheme("cobcm"), costs) == pytest.approx(block)
+        assert entry_field_moves(get_scheme("nogap"), costs) == pytest.approx(2 * block)
+        assert entry_field_moves(get_scheme("m"), costs) == pytest.approx(block)
+        assert entry_field_moves(get_scheme("cm"), costs) == pytest.approx(2 * block)
+        assert entry_field_moves(get_scheme("bcm"), costs) == pytest.approx(2 * block)
+
+    def test_late_work_components(self):
+        costs = EnergyCosts()
+        nogap = entry_late_work(get_scheme("nogap"), costs, 8)
+        cobcm = entry_late_work(get_scheme("cobcm"), costs, 8)
+        assert nogap == 0.0
+        expected = (
+            costs.move_pm_block_nj
+            + costs.aes_block_nj
+            + 8 * (costs.move_pm_block_nj + costs.sha_block_nj)
+            + costs.sha_block_nj
+        )
+        assert cobcm == pytest.approx(expected)
+
+
+class TestPaperTable5Values:
+    """Measured-vs-paper for Table V (SuperCap volumes, 32-entry SecPB)."""
+
+    @pytest.mark.parametrize(
+        "scheme_name,paper_mm3,tolerance",
+        [
+            ("cobcm", 4.89, 0.05),
+            ("obcm", 4.82, 0.05),
+            ("bcm", 4.72, 0.05),
+            ("cm", 0.73, 0.05),
+            ("m", 0.67, 0.05),
+            ("nogap", 0.28, 0.05),
+        ],
+    )
+    def test_scheme_battery_close_to_paper(self, scheme_name, paper_mm3, tolerance):
+        estimate = estimate_scheme(get_scheme(scheme_name))
+        assert estimate.supercap_mm3 == pytest.approx(paper_mm3, rel=tolerance)
+
+    def test_bbb_matches_paper(self):
+        assert estimate_bbb().supercap_mm3 == pytest.approx(0.07, abs=0.005)
+
+    def test_eadr_matches_paper_exactly(self):
+        """149.32 mm^3 — our reconstruction of the paper's arithmetic is
+        exact for eADR."""
+        assert estimate_eadr().supercap_mm3 == pytest.approx(149.32, rel=0.001)
+
+    def test_secure_eadr_with_paper_effective_bmt_ops(self):
+        estimate = estimate_secure_eadr(bmt_ops_per_line=2)
+        assert estimate.supercap_mm3 == pytest.approx(3706, rel=0.15)
+
+    def test_secure_eadr_stated_worst_case_is_larger(self):
+        """The paper's stated assumptions (8 uncached BMT ops/line) give a
+        ~3x larger battery than its table — the documented deviation."""
+        worst = secure_eadr_drain_energy_nj(bmt_ops_per_line=8)
+        table = secure_eadr_drain_energy_nj(bmt_ops_per_line=2)
+        assert worst > 2 * table
+
+    def test_seadr_to_cobcm_ratio_order_of_magnitude(self):
+        """Sec. VI-C: s_eADR needs ~753x COBCM's battery."""
+        seadr = estimate_secure_eadr(bmt_ops_per_line=2).supercap_mm3
+        cobcm = estimate_scheme(get_scheme("cobcm")).supercap_mm3
+        assert 400 < seadr / cobcm < 1200
+
+    def test_eadr_to_bbb_ratio(self):
+        """Sec. VI-C: eADR needs ~2500x BBB's battery (ours ~2200x)."""
+        ratio = eadr_drain_energy_nj() / bbb_drain_energy_nj()
+        assert 1500 < ratio < 3000
+
+    def test_core_area_ratios_match_paper(self):
+        cobcm = estimate_scheme(get_scheme("cobcm"))
+        assert cobcm.supercap_core_pct == pytest.approx(53.6, rel=0.05)
+        assert cobcm.li_thin_core_pct == pytest.approx(2.5, rel=0.1)
+
+
+class TestTable6SizeSweep:
+    def test_battery_scales_linearly_with_entries(self):
+        sweep = size_sweep(get_scheme("cobcm"), SECPB_SIZE_SWEEP)
+        e8 = sweep[8].energy_nj
+        e512 = sweep[512].energy_nj
+        # Linear per-entry term dominates: 64x entries ~ 60-64x energy.
+        assert 50 < e512 / e8 < 64.5
+
+    @pytest.mark.parametrize(
+        "entries,paper_mm3",
+        [(8, 1.33), (16, 2.52), (32, 4.89), (64, 9.63), (128, 19.12), (256, 38.11), (512, 76.10)],
+    )
+    def test_cobcm_sweep_matches_paper(self, entries, paper_mm3):
+        sweep = size_sweep(get_scheme("cobcm"), [entries])
+        assert sweep[entries].supercap_mm3 == pytest.approx(paper_mm3, rel=0.06)
+
+    def test_nogap_sweep_anchored_at_default_size(self):
+        """NoGap's Table VI column is internally inconsistent with its
+        Table V row (see DESIGN.md deviations); we match the Table V
+        anchor at 32 entries and keep the per-entry slope principled,
+        which undershoots the paper's 512-entry value by ~2x."""
+        sweep = size_sweep(get_scheme("nogap"), [32, 512])
+        assert sweep[32].supercap_mm3 == pytest.approx(0.28, rel=0.05)
+        assert 1.5 < sweep[512].supercap_mm3 < 4.35

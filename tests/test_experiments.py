@@ -1,0 +1,169 @@
+"""Integration tests for repro.analysis.experiments — the paper harness.
+
+These run the real experiment entry points at reduced scale and check the
+*shape* the paper reports: scheme orderings, battery orderings, crossover
+structure.  The full-scale numbers live in benchmarks/ and EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.analysis import paper_values
+from repro.analysis.experiments import (
+    EXPERIMENTS,
+    run_experiment,
+    run_fig7,
+    run_fig8,
+    run_fig9,
+    run_table4,
+    run_table5,
+    run_table6,
+)
+
+FAST = dict(num_ops=6000, benchmarks=["gamess", "povray", "hmmer", "leslie3d"])
+
+
+@pytest.fixture(scope="module")
+def table4():
+    return run_table4(**FAST)
+
+
+class TestRegistry:
+    def test_every_paper_artifact_has_an_entry(self):
+        assert set(EXPERIMENTS) == {
+            "table4",
+            "fig6",
+            "table5",
+            "table6",
+            "fig7",
+            "fig8",
+            "fig9",
+        }
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError, match="available"):
+            run_experiment("table99")
+
+    def test_run_experiment_dispatches(self):
+        result = run_experiment("table5")
+        assert result.by_label()["cobcm"].supercap_mm3 > 0
+
+
+class TestTable4Shape:
+    def test_all_schemes_reported(self, table4):
+        assert set(table4.mean_overhead_pct) == {
+            "cobcm",
+            "obcm",
+            "bcm",
+            "cm",
+            "m",
+            "nogap",
+        }
+
+    def test_spectrum_ordering(self, table4):
+        mean = table4.mean_overhead_pct
+        assert mean["cobcm"] <= mean["bcm"] + 1e-6
+        assert mean["bcm"] <= mean["cm"] + 1e-6
+        assert mean["cm"] <= mean["m"] + 1e-6
+        assert mean["m"] <= mean["nogap"] + 1e-6
+
+    def test_lazy_schemes_near_baseline(self, table4):
+        assert table4.mean_overhead_pct["cobcm"] < 30
+
+    def test_eager_schemes_pay_heavily(self, table4):
+        assert table4.mean_overhead_pct["nogap"] > 100
+
+    def test_paper_values_attached(self, table4):
+        assert table4.paper_mean_pct["cobcm"] == 1.3
+        assert table4.paper_mean_pct["nogap"] == 118.4
+
+    def test_render_contains_measured_and_paper(self, table4):
+        out = table4.render()
+        assert "measured" in out
+        assert "paper" in out
+        assert "gamess" in out
+
+    def test_per_benchmark_detail_present(self, table4):
+        assert set(table4.per_benchmark_pct) == set(FAST["benchmarks"])
+
+
+class TestTable5Shape:
+    def test_rows_and_ordering(self):
+        table = run_table5()
+        by_label = table.by_label()
+        assert by_label["cobcm"].supercap_mm3 > by_label["cm"].supercap_mm3
+        assert by_label["cm"].supercap_mm3 > by_label["nogap"].supercap_mm3
+        assert by_label["s_eadr"].supercap_mm3 > 100 * by_label["cobcm"].supercap_mm3
+        assert by_label["bbb"].supercap_mm3 < by_label["nogap"].supercap_mm3
+
+    def test_render(self):
+        out = run_table5().render()
+        assert "s_eadr" in out and "SuperCap" in out
+
+
+class TestTable6Shape:
+    def test_monotone_in_size(self):
+        table = run_table6()
+        sizes = sorted(table.cobcm)
+        volumes = [table.cobcm[s].supercap_mm3 for s in sizes]
+        assert volumes == sorted(volumes)
+
+    def test_cobcm_needs_more_than_nogap(self):
+        table = run_table6()
+        for size in table.cobcm:
+            assert (
+                table.cobcm[size].supercap_mm3 > table.nogap[size].supercap_mm3
+            )
+
+    def test_render(self):
+        assert "entries" in run_table6().render()
+
+
+class TestFig7Fig8Shape:
+    def test_overhead_decreases_with_size(self):
+        result = run_fig7(
+            sizes=(8, 64, 512), num_ops=6000, benchmarks=["povray", "hmmer"]
+        )
+        assert result.overhead_pct[8] > result.overhead_pct[512]
+
+    def test_bmt_updates_decrease_with_size(self):
+        result = run_fig7(
+            sizes=(8, 512), num_ops=6000, benchmarks=["povray", "hmmer"]
+        )
+        assert (
+            result.bmt_updates_vs_secwt_pct[8]
+            > result.bmt_updates_vs_secwt_pct[512]
+        )
+
+    def test_fig8_all_schemes_below_secwt(self):
+        result = run_fig8(num_ops=5000, benchmarks=["povray", "hmmer"])
+        for scheme, pct_updates in result.updates_vs_secwt_pct.items():
+            assert 0 < pct_updates < 100, scheme
+
+    def test_renders(self):
+        r7 = run_fig7(sizes=(8, 32), num_ops=4000, benchmarks=["povray"])
+        assert "entries" in r7.render()
+        r8 = run_fig8(num_ops=4000, benchmarks=["povray"])
+        assert "sec_wt" in r8.render()
+
+
+class TestFig9Shape:
+    @pytest.fixture(scope="class")
+    def fig9(self):
+        return run_fig9(num_ops=6000, benchmarks=["gamess", "povray", "hmmer"])
+
+    def test_dbmf_beats_sbmf_beats_full(self, fig9):
+        mean = fig9.mean_overhead_pct
+        assert mean["cm_dbmf"] < mean["cm_sbmf"] < mean["cm"]
+
+    def test_secpb_bmf_beats_sp_bmf(self, fig9):
+        """Fig. 9's highlight: cm_sbmf outperforms even sp_dbmf."""
+        mean = fig9.mean_overhead_pct
+        assert mean["cm_dbmf"] < mean["sp_dbmf"]
+        assert mean["cm_sbmf"] < mean["sp_dbmf"]
+
+    def test_sp_dbmf_beats_sp_sbmf(self, fig9):
+        mean = fig9.mean_overhead_pct
+        assert mean["sp_dbmf"] < mean["sp_sbmf"]
+
+    def test_paper_targets_attached(self, fig9):
+        assert fig9.paper_mean_pct == paper_values.FIG9_OVERHEAD_PCT

@@ -1,0 +1,60 @@
+"""Tests for repro.security.metadata_cache — CTR$/MAC$/BMT$."""
+
+from repro.security.metadata_cache import MetadataCaches
+from repro.sim.config import SystemConfig
+
+
+def mdc():
+    return MetadataCaches(SystemConfig())
+
+
+class TestLatencies:
+    def test_counter_miss_then_hit(self):
+        caches = mdc()
+        miss = caches.access_counter(3)
+        hit = caches.access_counter(3)
+        assert miss == 2 + 220
+        assert hit == 2
+
+    def test_mac_miss_then_hit(self):
+        caches = mdc()
+        assert caches.access_mac(7) == 2 + 220
+        assert caches.access_mac(7) == 2
+
+    def test_bmt_node_miss_then_hit(self):
+        caches = mdc()
+        assert caches.access_bmt_node(1, 5) == 2 + 220
+        assert caches.access_bmt_node(1, 5) == 2
+
+    def test_bmt_nodes_keyed_by_level_and_index(self):
+        caches = mdc()
+        caches.access_bmt_node(1, 5)
+        assert caches.access_bmt_node(2, 5) == 2 + 220  # different level
+        assert caches.access_bmt_node(1, 5) == 2
+
+    def test_caches_are_disjoint(self):
+        caches = mdc()
+        caches.access_counter(0)
+        assert caches.access_mac(0) == 2 + 220  # MAC$ not warmed by CTR$
+
+
+class TestStats:
+    def test_hit_miss_counters(self):
+        caches = mdc()
+        caches.access_counter(0)
+        caches.access_counter(0)
+        assert caches.stats.get("mdc.counter.misses") == 1
+        assert caches.stats.get("mdc.counter.hits") == 1
+
+
+class TestCrash:
+    def test_discard_volatile_empties_all(self):
+        caches = mdc()
+        caches.access_counter(0)
+        caches.access_mac(0)
+        caches.access_bmt_node(0, 0)
+        caches.discard_volatile()
+        # Everything misses again.
+        assert caches.access_counter(0) == 2 + 220
+        assert caches.access_mac(0) == 2 + 220
+        assert caches.access_bmt_node(0, 0) == 2 + 220

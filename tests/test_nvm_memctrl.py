@@ -1,0 +1,112 @@
+"""Tests for repro.sim.nvm and repro.sim.memctrl."""
+
+import pytest
+
+from repro.sim.config import SystemConfig
+from repro.sim.memctrl import MemoryController
+from repro.sim.nvm import ZERO_BLOCK, NonVolatileMemory
+
+
+def blk(byte):
+    return bytes([byte]) * 64
+
+
+class TestNVM:
+    def test_unwritten_block_reads_zero(self):
+        assert NonVolatileMemory().read_block(123) == ZERO_BLOCK
+
+    def test_write_then_read(self):
+        nvm = NonVolatileMemory()
+        nvm.write_block(5, blk(0xAB))
+        assert nvm.read_block(5) == blk(0xAB)
+
+    def test_write_rejects_wrong_size(self):
+        with pytest.raises(ValueError, match="block-granular"):
+            NonVolatileMemory().write_block(0, b"short")
+
+    def test_corrupt_block_changes_content_silently(self):
+        nvm = NonVolatileMemory()
+        nvm.write_block(1, blk(1))
+        reads_before = nvm.stats.get("nvm.reads")
+        nvm.corrupt_block(1, blk(2))
+        assert nvm.read_block(1) == blk(2)
+        # corruption is the attacker's doing: no write accounting
+        assert nvm.stats.get("nvm.writes") == 1
+        assert nvm.stats.get("nvm.reads") == reads_before + 1
+
+    def test_corrupt_rejects_wrong_size(self):
+        with pytest.raises(ValueError):
+            NonVolatileMemory().corrupt_block(0, b"x")
+
+    def test_timing_from_table1(self):
+        nvm = NonVolatileMemory(clock_ghz=4.0)
+        assert nvm.timing.read_cycles == 220
+        assert nvm.timing.write_cycles == 600
+
+    def test_len_counts_written_blocks(self):
+        nvm = NonVolatileMemory()
+        nvm.write_block(1, blk(1))
+        nvm.write_block(2, blk(2))
+        nvm.write_block(1, blk(3))
+        assert len(nvm) == 2
+
+    def test_written_blocks_snapshot_is_copy(self):
+        nvm = NonVolatileMemory()
+        nvm.write_block(1, blk(1))
+        snap = nvm.written_blocks()
+        snap[2] = blk(2)
+        assert len(nvm) == 1
+
+
+class TestMemoryController:
+    def _mc(self):
+        config = SystemConfig()
+        nvm = NonVolatileMemory(config.nvm, config.clock_ghz)
+        return MemoryController(config, nvm), nvm
+
+    def test_enqueue_and_flush(self):
+        mc, nvm = self._mc()
+        mc.enqueue(1, blk(1))
+        mc.enqueue(2, blk(2))
+        assert mc.wpq_occupancy == 2
+        flushed = mc.flush_wpq()
+        assert flushed == 2
+        assert nvm.read_block(1) == blk(1)
+        assert mc.wpq_occupancy == 0
+
+    def test_pending_writes_latest_wins(self):
+        mc, _ = self._mc()
+        mc.enqueue(1, blk(1))
+        mc.enqueue(1, blk(2))
+        assert mc.pending_writes()[1] == blk(2)
+
+    def test_overflow_drains_oldest_to_nvm(self):
+        mc, nvm = self._mc()
+        for i in range(40):  # wpq_entries = 32
+            mc.enqueue(i, blk(i))
+        assert mc.wpq_occupancy == 32
+        assert nvm.read_block(0) == blk(0)  # oldest already durable
+
+    def test_accept_cycles_fast_when_empty(self):
+        mc, _ = self._mc()
+        acceptance, completion = mc.accept_cycles(now=0.0)
+        assert acceptance == 0.0
+        assert completion == 600
+
+    def test_accept_cycles_backpressure_when_saturated(self):
+        mc, _ = self._mc()
+        acceptance = 0.0
+        for _ in range(64):
+            acceptance, _ = mc.accept_cycles(now=0.0)
+        # 64 outstanding writes > 32-entry WPQ: acceptance must stall.
+        assert acceptance > 0.0
+        assert mc.stats.get("mc.wpq_stalls") > 0
+
+    def test_writes_survive_as_durable_after_flush(self):
+        """ADR guarantee: everything accepted into the WPQ reaches PM."""
+        mc, nvm = self._mc()
+        for i in range(10):
+            mc.enqueue(i, blk(i))
+        mc.flush_wpq()
+        for i in range(10):
+            assert nvm.read_block(i) == blk(i)

@@ -1,0 +1,127 @@
+"""Tests for repro.security.otp and repro.security.mac."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.security.mac import MacEngine, MacStore
+from repro.security.otp import OTPEngine
+
+KEY = b"0123456789abcdef0123456789abcdef"
+blocks = st.binary(min_size=64, max_size=64)
+
+
+class TestOTPEngine:
+    def test_key_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            OTPEngine(b"short")
+
+    def test_encrypt_decrypt_roundtrip(self):
+        otp = OTPEngine(KEY)
+        plaintext = bytes(range(64))
+        ciphertext = otp.encrypt_with_nonce(plaintext, 7, 0, 1)
+        assert ciphertext != plaintext
+        assert otp.decrypt_with_nonce(ciphertext, 7, 0, 1) == plaintext
+
+    def test_wrong_counter_decrypts_garbage(self):
+        """The recoverability gap failure mode: stale counter -> wrong
+        plaintext."""
+        otp = OTPEngine(KEY)
+        plaintext = bytes(range(64))
+        ciphertext = otp.encrypt_with_nonce(plaintext, 7, 0, 2)
+        assert otp.decrypt_with_nonce(ciphertext, 7, 0, 1) != plaintext
+
+    def test_wrong_address_decrypts_garbage(self):
+        otp = OTPEngine(KEY)
+        plaintext = bytes(range(64))
+        ciphertext = otp.encrypt_with_nonce(plaintext, 7, 0, 1)
+        assert otp.decrypt_with_nonce(ciphertext, 8, 0, 1) != plaintext
+
+    def test_pad_bound_to_nonce(self):
+        otp = OTPEngine(KEY)
+        pad = otp.generate(3, 4, 5)
+        assert (pad.block_addr, pad.major, pad.minor) == (3, 4, 5)
+
+    def test_pads_generated_counted(self):
+        otp = OTPEngine(KEY)
+        otp.generate(0, 0, 0)
+        otp.generate(0, 0, 1)
+        assert otp.pads_generated == 2
+
+    def test_encrypt_rejects_wrong_size(self):
+        otp = OTPEngine(KEY)
+        pad = otp.generate(0, 0, 0)
+        with pytest.raises(ValueError):
+            otp.encrypt(b"short", pad)
+
+    @given(blocks, st.integers(0, 1000), st.integers(0, 63), st.integers(0, 127))
+    @settings(max_examples=50)
+    def test_roundtrip_property(self, plaintext, addr, major, minor):
+        otp = OTPEngine(KEY)
+        ciphertext = otp.encrypt_with_nonce(plaintext, addr, major, minor)
+        assert otp.decrypt_with_nonce(ciphertext, addr, major, minor) == plaintext
+
+
+class TestMacEngine:
+    def test_key_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            MacEngine(b"x")
+
+    def test_verify_accepts_genuine(self):
+        mac = MacEngine(KEY)
+        ct = bytes(64)
+        record = mac.compute(ct, 1, 0, 1)
+        assert mac.verify(ct, 1, 0, 1, record.tag)
+
+    def test_verify_rejects_tampered_ciphertext(self):
+        mac = MacEngine(KEY)
+        record = mac.compute(bytes(64), 1, 0, 1)
+        tampered = b"\x01" + bytes(63)
+        assert not mac.verify(tampered, 1, 0, 1, record.tag)
+
+    def test_verify_rejects_spliced_address(self):
+        """Splicing: same ciphertext + tag presented at another address."""
+        mac = MacEngine(KEY)
+        ct = bytes(range(64))
+        record = mac.compute(ct, 1, 0, 1)
+        assert not mac.verify(ct, 2, 0, 1, record.tag)
+
+    def test_verify_rejects_replayed_counter(self):
+        """Replay: old tag with a rolled-back counter value."""
+        mac = MacEngine(KEY)
+        ct = bytes(range(64))
+        record = mac.compute(ct, 1, 0, 5)
+        assert not mac.verify(ct, 1, 0, 4, record.tag)
+
+    def test_macs_computed_counter(self):
+        mac = MacEngine(KEY)
+        mac.compute(bytes(64), 0, 0, 0)
+        assert mac.macs_computed == 1
+
+    @given(blocks, blocks)
+    @settings(max_examples=30)
+    def test_distinct_ciphertexts_distinct_tags(self, a, b):
+        mac = MacEngine(KEY)
+        if a != b:
+            assert mac.compute(a, 0, 0, 0).tag != mac.compute(b, 0, 0, 0).tag
+
+
+class TestMacStore:
+    def test_put_get_drop(self):
+        store = MacStore()
+        record = MacEngine(KEY).compute(bytes(64), 9, 0, 0)
+        store.put(record)
+        assert store.get(9) is record
+        store.drop(9)
+        assert store.get(9) is None
+        store.drop(9)  # idempotent
+
+    def test_snapshot_restore(self):
+        store = MacStore()
+        engine = MacEngine(KEY)
+        store.put(engine.compute(bytes(64), 1, 0, 0))
+        snap = store.snapshot()
+        store.put(engine.compute(bytes(64), 2, 0, 0))
+        store.restore(snap)
+        assert store.get(2) is None
+        assert len(store) == 1

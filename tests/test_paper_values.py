@@ -1,0 +1,66 @@
+"""Consistency checks on the transcribed paper values themselves."""
+
+from repro.analysis import paper_values
+from repro.core.schemes import SPECTRUM_ORDER
+from repro.sim.config import SECPB_SIZE_SWEEP
+
+
+class TestTranscriptionConsistency:
+    def test_table4_covers_all_schemes(self):
+        assert set(paper_values.TABLE4_SLOWDOWN_PCT) == set(SPECTRUM_ORDER)
+
+    def test_table4_ordering_matches_spectrum(self):
+        """The paper's own numbers order by eagerness."""
+        values = [
+            paper_values.TABLE4_SLOWDOWN_PCT[name] for name in SPECTRUM_ORDER
+        ]
+        assert values == sorted(values)
+
+    def test_table5_supercap_livthin_ratio_is_100(self):
+        """SuperCap and Li-Thin volumes must differ by the density ratio."""
+        for name, supercap in paper_values.TABLE5_SUPERCAP_MM3.items():
+            li_thin = paper_values.TABLE5_LI_THIN_MM3[name]
+            assert 0.4 < supercap / (100 * li_thin) < 2.7, name
+
+    def test_table5_battery_orders_by_laziness(self):
+        values = [
+            paper_values.TABLE5_SUPERCAP_MM3[name] for name in SPECTRUM_ORDER
+        ]
+        assert values == sorted(values, reverse=True)
+
+    def test_table6_covers_the_size_sweep(self):
+        assert set(paper_values.TABLE6_COBCM_SUPERCAP_MM3) == set(SECPB_SIZE_SWEEP)
+        assert set(paper_values.TABLE6_NOGAP_SUPERCAP_MM3) == set(SECPB_SIZE_SWEEP)
+
+    def test_table6_monotone_in_size(self):
+        for table in (
+            paper_values.TABLE6_COBCM_SUPERCAP_MM3,
+            paper_values.TABLE6_NOGAP_SUPERCAP_MM3,
+        ):
+            sizes = sorted(table)
+            values = [table[s] for s in sizes]
+            assert values == sorted(values)
+
+    def test_table6_agrees_with_table5_at_32_entries(self):
+        assert (
+            paper_values.TABLE6_COBCM_SUPERCAP_MM3[32]
+            == paper_values.TABLE5_SUPERCAP_MM3["cobcm"]
+        )
+        assert (
+            paper_values.TABLE6_NOGAP_SUPERCAP_MM3[32]
+            == paper_values.TABLE5_SUPERCAP_MM3["nogap"]
+        )
+
+    def test_fig9_orderings(self):
+        fig9 = paper_values.FIG9_OVERHEAD_PCT
+        assert fig9["cm_dbmf"] < fig9["cm_sbmf"]
+        assert fig9["sp_dbmf"] < fig9["sp_sbmf"]
+        assert fig9["cm_sbmf"] < fig9["sp_dbmf"]  # the paper's highlight
+
+    def test_headline_ratios_positive(self):
+        assert paper_values.SEADR_TO_COBCM_BATTERY_RATIO > 100
+        assert paper_values.EADR_TO_BBB_BATTERY_RATIO > 100
+
+    def test_benchmark_stats_present(self):
+        assert paper_values.BENCHMARK_STATS["gamess"]["ppti"] == 47.4
+        assert paper_values.BENCHMARK_STATS["povray"]["nwpe"] == 17.6

@@ -1,0 +1,93 @@
+"""Tests for repro.security.prf — the keyed PRF / hash substrate."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.security.prf import hash_children, keyed_hash, prf, xor_bytes
+
+KEY = b"test-key-0123456789abcdef-------"
+
+
+class TestPRF:
+    def test_deterministic(self):
+        assert prf(KEY, b"a", 1) == prf(KEY, b"a", 1)
+
+    def test_output_length_default(self):
+        assert len(prf(KEY, b"x")) == 64
+
+    def test_output_length_custom(self):
+        assert len(prf(KEY, b"x", out_bytes=100)) == 100
+
+    def test_key_sensitivity(self):
+        assert prf(KEY, b"x") != prf(b"another-key-0123456789abcdef----", b"x")
+
+    def test_input_sensitivity(self):
+        assert prf(KEY, b"x") != prf(KEY, b"y")
+        assert prf(KEY, 1, 2) != prf(KEY, 2, 1)
+
+    def test_length_prefixing_prevents_ambiguity(self):
+        assert prf(KEY, b"ab", b"c") != prf(KEY, b"a", b"bc")
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(ValueError):
+            prf(b"", b"x")
+
+    def test_negative_int_rejected(self):
+        with pytest.raises(ValueError):
+            prf(KEY, -1)
+
+    @given(st.integers(min_value=0, max_value=2**64), st.integers(min_value=0, max_value=2**64))
+    @settings(max_examples=50)
+    def test_distinct_nonces_give_distinct_pads(self, a, b):
+        if a != b:
+            assert prf(KEY, a) != prf(KEY, b)
+
+    @given(st.integers(min_value=1, max_value=300))
+    @settings(max_examples=20)
+    def test_prefix_property_of_expansion(self, n):
+        """Shorter outputs are prefixes of longer ones (counter-mode)."""
+        long = prf(KEY, b"seed", out_bytes=300)
+        assert prf(KEY, b"seed", out_bytes=n) == long[:n]
+
+
+class TestKeyedHash:
+    def test_deterministic_and_sized(self):
+        digest = keyed_hash(KEY, b"data")
+        assert digest == keyed_hash(KEY, b"data")
+        assert len(digest) == 32
+
+    def test_input_sensitivity(self):
+        assert keyed_hash(KEY, b"a") != keyed_hash(KEY, b"b")
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(ValueError):
+            keyed_hash(b"", b"x")
+
+
+class TestHashChildren:
+    def test_position_binding(self):
+        children = [b"c" * 32] * 8
+        assert hash_children(KEY, 1, 0, children) != hash_children(KEY, 1, 1, children)
+        assert hash_children(KEY, 1, 0, children) != hash_children(KEY, 2, 0, children)
+
+    def test_child_sensitivity(self):
+        a = [b"a" * 32] * 8
+        b = [b"a" * 32] * 7 + [b"b" * 32]
+        assert hash_children(KEY, 1, 0, a) != hash_children(KEY, 1, 0, b)
+
+
+class TestXorBytes:
+    def test_roundtrip(self):
+        a, b = b"\x01\x02\x03", b"\xff\x00\x0f"
+        assert xor_bytes(xor_bytes(a, b), b) == a
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            xor_bytes(b"ab", b"abc")
+
+    @given(st.binary(min_size=64, max_size=64), st.binary(min_size=64, max_size=64))
+    @settings(max_examples=50)
+    def test_xor_involution(self, a, b):
+        assert xor_bytes(xor_bytes(a, b), b) == a
+        assert xor_bytes(a, a) == bytes(64)

@@ -1,0 +1,63 @@
+"""Tests for repro.core.recovery_time — crash-to-consistency estimates."""
+
+import pytest
+
+from repro.core.recovery_time import (
+    estimate_recovery_time,
+    per_entry_drain_cycles,
+    recovery_time_table,
+)
+from repro.core.schemes import SPECTRUM_ORDER, get_scheme
+from repro.sim.config import SystemConfig
+
+
+class TestPerEntry:
+    def test_nogap_pays_only_data_and_metadata_writes(self):
+        cycles = per_entry_drain_cycles(get_scheme("nogap"))
+        assert cycles == 600 + 600  # data write + metadata writeback
+
+    def test_cobcm_pays_everything(self):
+        cycles = per_entry_drain_cycles(get_scheme("cobcm"))
+        expected = (
+            600  # data
+            + 220 + 1  # counter fetch + increment
+            + 40  # OTP
+            + 8 * (220 + 40)  # BMT node fetch + hash per level
+            + 40  # MAC
+            + 600  # metadata writeback
+        )
+        assert cycles == expected
+
+    def test_lazier_schemes_take_longer(self):
+        values = [
+            per_entry_drain_cycles(get_scheme(name)) for name in SPECTRUM_ORDER
+        ]
+        assert values == sorted(values, reverse=True)
+
+
+class TestEstimates:
+    def test_scales_with_secpb_size(self):
+        small = estimate_recovery_time(
+            get_scheme("cobcm"), SystemConfig().with_secpb_entries(8)
+        )
+        large = estimate_recovery_time(
+            get_scheme("cobcm"), SystemConfig().with_secpb_entries(512)
+        )
+        assert large.total_cycles == pytest.approx(64 * small.total_cycles)
+
+    def test_microseconds_conversion(self):
+        estimate = estimate_recovery_time(get_scheme("cobcm"))
+        assert estimate.total_us == pytest.approx(
+            estimate.total_cycles / 4000.0
+        )
+
+    def test_default_cobcm_window_is_tens_of_microseconds(self):
+        """Sanity: a 32-entry COBCM sec-sync completes in well under a
+        millisecond — the paper's 'delaying observation is feasible'."""
+        estimate = estimate_recovery_time(get_scheme("cobcm"))
+        assert 5.0 < estimate.total_us < 100.0
+
+    def test_table_covers_spectrum(self):
+        table = recovery_time_table()
+        assert set(table) == set(SPECTRUM_ORDER)
+        assert table["cobcm"].total_cycles > table["nogap"].total_cycles

@@ -1,0 +1,79 @@
+"""Tests for repro.analysis.report — table formatting."""
+
+import pytest
+
+from repro.analysis.report import (
+    fmt,
+    format_table,
+    paper_vs_measured,
+    pct,
+    ratio,
+    series_table,
+)
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        out = format_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = out.splitlines()
+        assert lines[0].split() == ["a", "bb"]
+        assert set(lines[1]) <= {"-", " "}
+        assert lines[2].split() == ["1", "2"]
+
+    def test_title(self):
+        out = format_table(["a"], [["x"]], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_column_count_validated(self):
+        with pytest.raises(ValueError, match="cells"):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_columns_align(self):
+        out = format_table(["name", "v"], [["long-name", "1"], ["x", "22"]])
+        lines = out.splitlines()
+        assert lines[2].index("1") == lines[3].index("22")
+
+
+class TestFormatters:
+    def test_pct(self):
+        assert pct(12.34) == "12.3%"
+        assert pct(12.34, digits=2) == "12.34%"
+
+    def test_ratio(self):
+        assert ratio(1.5) == "1.50x"
+
+    def test_fmt(self):
+        assert fmt(3.14159, 3) == "3.142"
+
+
+class TestPaperVsMeasured:
+    def test_both_columns_present(self):
+        out = paper_vs_measured({"cm": 70.0}, {"cm": 71.3})
+        assert "70.00%" in out
+        assert "71.30%" in out
+
+    def test_missing_paper_value_dashes(self):
+        out = paper_vs_measured({"new": 1.0}, {})
+        assert "-" in out
+
+    def test_order_respected(self):
+        out = paper_vs_measured(
+            {"b": 1.0, "a": 2.0}, {}, order=["a", "b"]
+        )
+        lines = out.splitlines()
+        assert lines[2].startswith("a")
+
+
+class TestSeriesTable:
+    def test_grid(self):
+        out = series_table(
+            {"bench1": {"cm": 1.5, "m": 2.0}},
+            col_order=["cm", "m"],
+        )
+        assert "bench1" in out
+        assert "1.50" in out
+        assert "2.00" in out
+
+    def test_missing_cell_dashes(self):
+        out = series_table({"b": {"x": 1.0}}, col_order=["x", "y"])
+        assert "-" in out

@@ -1,0 +1,148 @@
+"""Tests for repro.core.schemes — the design spectrum of Fig. 4 / Table II."""
+
+import pytest
+
+from repro.core.schemes import (
+    ALL_STEPS,
+    BCM,
+    CM,
+    COBCM,
+    M,
+    NOGAP,
+    OBCM,
+    SCHEMES,
+    SPECTRUM_ORDER,
+    STEP_DEPENDENCIES,
+    VALUE_DEPENDENT_STEPS,
+    VALUE_INDEPENDENT_STEPS,
+    MetadataStep,
+    Scheme,
+    get_scheme,
+)
+from repro.core.secpb import fields_for_scheme
+
+
+class TestRegistry:
+    def test_six_schemes(self):
+        assert len(SCHEMES) == 6
+        assert set(SCHEMES) == {"nogap", "m", "cm", "bcm", "obcm", "cobcm"}
+
+    def test_lookup_case_insensitive(self):
+        assert get_scheme("NoGap") is NOGAP
+        assert get_scheme("COBCM") is COBCM
+
+    def test_unknown_scheme_raises_with_valid_names(self):
+        with pytest.raises(KeyError, match="cobcm"):
+            get_scheme("unknown")
+
+    def test_spectrum_order_is_laziest_first(self):
+        laziness = [SCHEMES[name].laziness for name in SPECTRUM_ORDER]
+        assert laziness == sorted(laziness, reverse=True)
+        assert laziness == [5, 4, 3, 2, 1, 0]
+
+
+class TestTable2Definitions:
+    """Each scheme's early/late split exactly as Table II specifies."""
+
+    def test_nogap_everything_early(self):
+        assert NOGAP.early_steps == frozenset(ALL_STEPS)
+        assert NOGAP.late_steps == frozenset()
+
+    def test_m_delays_mac_only(self):
+        assert M.late_steps == {MetadataStep.MAC}
+
+    def test_cm_delays_ciphertext_and_mac(self):
+        assert CM.late_steps == {MetadataStep.CIPHERTEXT, MetadataStep.MAC}
+
+    def test_bcm_adds_bmt_root(self):
+        assert BCM.late_steps == {
+            MetadataStep.BMT_ROOT,
+            MetadataStep.CIPHERTEXT,
+            MetadataStep.MAC,
+        }
+
+    def test_obcm_adds_otp(self):
+        assert OBCM.early_steps == {MetadataStep.COUNTER}
+
+    def test_cobcm_everything_late(self):
+        assert COBCM.early_steps == frozenset()
+        assert COBCM.late_steps == frozenset(ALL_STEPS)
+
+
+class TestValueDependence:
+    """Sec. IV-A: data-value-dependent vs independent metadata."""
+
+    def test_partition_is_complete(self):
+        assert VALUE_INDEPENDENT_STEPS | VALUE_DEPENDENT_STEPS == set(ALL_STEPS)
+        assert not VALUE_INDEPENDENT_STEPS & VALUE_DEPENDENT_STEPS
+
+    def test_ciphertext_and_mac_are_value_dependent(self):
+        assert VALUE_DEPENDENT_STEPS == {
+            MetadataStep.CIPHERTEXT,
+            MetadataStep.MAC,
+        }
+
+    def test_nogap_eager_value_dependent(self):
+        assert NOGAP.eager_value_dependent == VALUE_DEPENDENT_STEPS
+        assert NOGAP.eager_value_independent == VALUE_INDEPENDENT_STEPS
+
+    def test_cm_has_no_eager_value_dependent_work(self):
+        assert CM.eager_value_dependent == frozenset()
+        assert CM.eager_value_independent == VALUE_INDEPENDENT_STEPS
+
+
+class TestDependencyValidation:
+    """Fig. 4's dependency edges constrain valid schemes."""
+
+    def test_otp_requires_counter(self):
+        assert MetadataStep.COUNTER in STEP_DEPENDENCIES[MetadataStep.OTP]
+
+    def test_mac_requires_ciphertext(self):
+        assert MetadataStep.CIPHERTEXT in STEP_DEPENDENCIES[MetadataStep.MAC]
+
+    def test_early_step_with_late_dependency_rejected(self):
+        """An eager OTP from a lazy counter is impossible hardware."""
+        with pytest.raises(ValueError, match="depends on late"):
+            Scheme(
+                name="invalid",
+                early_steps=frozenset({MetadataStep.OTP}),
+                late_steps=frozenset(ALL_STEPS) - {MetadataStep.OTP},
+            )
+
+    def test_overlapping_early_late_rejected(self):
+        with pytest.raises(ValueError, match="both early and late"):
+            Scheme(
+                name="invalid",
+                early_steps=frozenset(ALL_STEPS),
+                late_steps=frozenset({MetadataStep.MAC}),
+            )
+
+    def test_unassigned_step_rejected(self):
+        with pytest.raises(ValueError, match="unassigned"):
+            Scheme(
+                name="invalid",
+                early_steps=frozenset(),
+                late_steps=frozenset({MetadataStep.MAC}),
+            )
+
+
+class TestFig5FieldTable:
+    """Which SecPB fields each scheme keeps (Fig. 5, top-left table)."""
+
+    def test_nogap_keeps_all_fields(self):
+        assert fields_for_scheme(NOGAP) == {"O", "Dc", "C", "B", "M"}
+
+    def test_m_drops_mac_field(self):
+        assert fields_for_scheme(M) == {"O", "Dc", "C", "B"}
+
+    def test_cm_keeps_otp_counter_bmt(self):
+        assert fields_for_scheme(CM) == {"O", "C", "B"}
+
+    def test_bcm_keeps_otp_counter(self):
+        assert fields_for_scheme(BCM) == {"O", "C"}
+
+    def test_obcm_keeps_counter_only(self):
+        assert fields_for_scheme(OBCM) == {"C"}
+
+    def test_cobcm_keeps_nothing(self):
+        assert fields_for_scheme(COBCM) == frozenset()

@@ -1,0 +1,197 @@
+"""Tests for repro.core.secpb — the SecPB structure and drain policy."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.schemes import CM, COBCM, NOGAP, MetadataStep
+from repro.core.secpb import SecPB
+from repro.sim.config import SecPBConfig
+
+
+def make_secpb(entries=8, scheme=COBCM):
+    return SecPB(SecPBConfig(entries=entries), scheme)
+
+
+class TestWriteAndCoalesce:
+    def test_first_write_allocates(self):
+        pb = make_secpb()
+        entry, allocated = pb.write(0x10)
+        assert allocated
+        assert entry.writes == 1
+        assert pb.occupancy == 1
+
+    def test_second_write_coalesces(self):
+        pb = make_secpb()
+        pb.write(0x10)
+        entry, allocated = pb.write(0x10)
+        assert not allocated
+        assert entry.writes == 2
+        assert pb.occupancy == 1
+
+    def test_write_updates_plaintext(self):
+        pb = make_secpb()
+        pb.write(0x10, plaintext=b"a" * 64)
+        entry, _ = pb.write(0x10, plaintext=b"b" * 64)
+        assert entry.plaintext == b"b" * 64
+
+    def test_coalescing_invalidates_value_dependent_metadata(self):
+        """Sec. IV-A: Dc and M are stale after any new store; counters/OTP
+        are not."""
+        pb = make_secpb(scheme=NOGAP)
+        entry, _ = pb.write(0x10)
+        for step in MetadataStep:
+            entry.mark(step)
+        entry, _ = pb.write(0x10)
+        assert not entry.is_marked(MetadataStep.CIPHERTEXT)
+        assert not entry.is_marked(MetadataStep.MAC)
+        assert entry.is_marked(MetadataStep.COUNTER)
+        assert entry.is_marked(MetadataStep.OTP)
+        assert entry.is_marked(MetadataStep.BMT_ROOT)
+
+    def test_full_buffer_rejects_new_allocation(self):
+        pb = make_secpb(entries=2)
+        pb.write(1)
+        pb.write(2)
+        with pytest.raises(RuntimeError, match="SecPB full"):
+            pb.write(3)
+
+    def test_full_buffer_still_coalesces(self):
+        pb = make_secpb(entries=2)
+        pb.write(1)
+        pb.write(2)
+        _, allocated = pb.write(1)
+        assert not allocated
+
+
+class TestWatermarks:
+    def test_above_high_watermark(self):
+        pb = make_secpb(entries=8)  # high = 6, low = 3
+        for i in range(5):
+            pb.write(i)
+        assert not pb.above_high_watermark
+        pb.write(5)
+        assert pb.above_high_watermark
+
+    def test_drain_targets_reach_low_watermark(self):
+        pb = make_secpb(entries=8)
+        for i in range(6):
+            pb.write(i)
+        assert pb.drain_targets() == 6 - 3
+
+    def test_drain_targets_zero_below_high(self):
+        pb = make_secpb(entries=8)
+        pb.write(0)
+        assert pb.drain_targets() == 0
+
+
+class TestDraining:
+    def test_drain_oldest_is_fifo(self):
+        pb = make_secpb()
+        for i in (5, 3, 9):
+            pb.write(i)
+        assert pb.drain_oldest().block_addr == 5
+        assert pb.drain_oldest().block_addr == 3
+
+    def test_drain_empty_raises(self):
+        with pytest.raises(RuntimeError, match="empty"):
+            make_secpb().drain_oldest()
+
+    def test_drain_all_returns_everything_in_order(self):
+        pb = make_secpb()
+        for i in range(5):
+            pb.write(i)
+        drained = pb.drain_all()
+        assert [d.block_addr for d in drained] == list(range(5))
+        assert pb.occupancy == 0
+
+    def test_drained_entry_carries_write_count_and_data(self):
+        pb = make_secpb()
+        pb.write(7, plaintext=b"x" * 64)
+        pb.write(7, plaintext=b"y" * 64)
+        drained = pb.drain_oldest()
+        assert drained.writes == 2
+        assert drained.plaintext == b"y" * 64
+
+    def test_metadata_completeness_reported(self):
+        pb = make_secpb(scheme=CM)
+        entry, _ = pb.write(1)
+        assert not pb.drain_oldest().metadata_was_complete
+        entry, _ = pb.write(2)
+        entry.mark(MetadataStep.COUNTER)
+        entry.mark(MetadataStep.OTP)
+        entry.mark(MetadataStep.BMT_ROOT)
+        assert pb.drain_oldest().metadata_was_complete
+
+
+class TestDrainPolicies:
+    def test_drain_process_only_touches_matching_asid(self):
+        pb = make_secpb()
+        pb.write(1, asid=1)
+        pb.write(2, asid=2)
+        pb.write(3, asid=1)
+        drained = pb.drain_process(asid=1)
+        assert sorted(d.block_addr for d in drained) == [1, 3]
+        assert pb.occupancy == 1
+        assert pb.lookup(2) is not None
+
+    def test_drain_process_preserves_fifo_for_survivors(self):
+        pb = make_secpb()
+        pb.write(1, asid=1)
+        pb.write(2, asid=2)
+        pb.write(3, asid=2)
+        pb.drain_process(asid=1)
+        assert pb.drain_oldest().block_addr == 2
+
+    def test_remove_for_coherence(self):
+        pb = make_secpb()
+        pb.write(1)
+        entry = pb.remove(1)
+        assert entry is not None
+        assert pb.remove(1) is None
+        assert pb.occupancy == 0
+
+
+class TestStats:
+    def test_counters(self):
+        pb = make_secpb()
+        pb.write(1)
+        pb.write(1)
+        pb.write(2)
+        pb.drain_all()
+        assert pb.stats.get("secpb.writes") == 3
+        assert pb.stats.get("secpb.allocations") == 2
+        assert pb.stats.get("secpb.drains") == 2
+
+
+class TestPropertyBased:
+    @given(st.lists(st.integers(0, 30), min_size=1, max_size=200))
+    @settings(max_examples=40, deadline=None)
+    def test_occupancy_never_exceeds_capacity_with_watermark_policy(self, writes):
+        """Running the paper's drain policy over any write sequence keeps
+        the buffer within capacity and conserves entries."""
+        pb = make_secpb(entries=8)
+        drained_total = 0
+        for addr in writes:
+            if pb.full and pb.lookup(addr) is None:
+                pb.drain_oldest()
+                drained_total += 1
+            pb.write(addr)
+            while pb.above_high_watermark:
+                pb.drain_oldest()
+                drained_total += 1
+            assert pb.occupancy <= 8
+        assert drained_total + pb.occupancy == pb.stats.get("secpb.allocations")
+
+    @given(st.lists(st.integers(0, 5), min_size=1, max_size=100))
+    @settings(max_examples=40, deadline=None)
+    def test_nwpe_accounting(self, writes):
+        """Total writes recorded equals the input; NWPE >= 1."""
+        pb = make_secpb(entries=8)
+        for addr in writes:
+            if pb.full and pb.lookup(addr) is None:
+                pb.drain_oldest()
+            pb.write(addr)
+        assert pb.stats.get("secpb.writes") == len(writes)
+        assert pb.stats.get("secpb.allocations") >= 1
+        assert pb.stats.get("secpb.writes") >= pb.stats.get("secpb.allocations")

@@ -1,0 +1,72 @@
+"""Tests for repro.analysis.serialize — JSON round-trips of results."""
+
+import json
+
+import pytest
+
+from repro.analysis.experiments import run_table5, run_table6
+from repro.analysis.serialize import (
+    load_result,
+    result_to_dict,
+    save_result,
+    to_jsonable,
+)
+from repro.core.simulator import run_scheme
+from repro.core.schemes import get_scheme
+from repro.energy.battery import estimate_scheme
+from repro.workloads.synthetic import uniform_trace
+
+
+class TestToJsonable:
+    def test_scalars_pass_through(self):
+        assert to_jsonable(3) == 3
+        assert to_jsonable(2.5) == 2.5
+        assert to_jsonable("x") == "x"
+        assert to_jsonable(None) is None
+        assert to_jsonable(True) is True
+
+    def test_bytes_become_hex(self):
+        assert to_jsonable(b"\x01\xff") == "01ff"
+
+    def test_containers_recurse(self):
+        assert to_jsonable({1: [b"\x00", (2, 3)]}) == {"1": ["00", [2, 3]]}
+
+    def test_dataclass_tagged_with_type(self):
+        estimate = estimate_scheme(get_scheme("cm"))
+        data = to_jsonable(estimate)
+        assert data["__type__"] == "BatteryEstimate"
+        assert data["label"] == "cm"
+
+
+class TestResultTypes:
+    def test_simulation_result(self):
+        trace = uniform_trace(500, 100, seed=1)
+        result = run_scheme(trace, get_scheme("cobcm"))
+        data = result_to_dict(result)
+        assert data["scheme"] == "cobcm"
+        assert data["cycles"] > 0
+        json.dumps(data)  # must be JSON-clean
+
+    def test_battery_table(self):
+        data = result_to_dict(run_table5())
+        assert any(row["label"] == "s_eadr" for row in data["rows"])
+        json.dumps(data)
+
+    def test_size_battery_table(self):
+        data = result_to_dict(run_table6())
+        assert "32" in data["cobcm"]
+        json.dumps(data)
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(TypeError):
+            result_to_dict(42)
+
+
+class TestFileRoundTrip:
+    def test_save_and_load(self, tmp_path):
+        path = str(tmp_path / "table5.json")
+        save_result(run_table5(), path)
+        loaded = load_result(path)
+        assert loaded["__type__"] == "BatteryTable"
+        labels = {row["label"] for row in loaded["rows"]}
+        assert {"cobcm", "bbb", "eadr"} <= labels

@@ -1,0 +1,108 @@
+"""Hypothesis stateful (model-based) tests for core structures.
+
+These drive long random operation sequences against a simple reference
+model, letting hypothesis shrink any divergence to a minimal
+counterexample — the strongest correctness evidence short of proof for
+the SecPB structure, the persistent hash map, and the Start-Gap mapping.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.core.schemes import COBCM
+from repro.core.secpb import SecPB
+from repro.sim.config import SecPBConfig
+from repro.sim.wear import StartGapWearLeveler
+
+
+class SecPBModel(RuleBasedStateMachine):
+    """SecPB vs an ordered-dict reference under write/drain sequences."""
+
+    def __init__(self):
+        super().__init__()
+        self.secpb = SecPB(SecPBConfig(entries=6), COBCM)
+        self.model = {}  # block -> write count, insertion-ordered
+        self.total_writes = 0
+        self.total_allocations = 0
+
+    @rule(block=st.integers(0, 15))
+    def write(self, block):
+        if self.secpb.full and block not in self.model:
+            return  # the controller would drain first; modelled via drain rule
+        entry, allocated = self.secpb.write(block)
+        if allocated:
+            assert block not in self.model
+            self.model[block] = 0
+            self.total_allocations += 1
+        self.model[block] += 1
+        self.total_writes += 1
+        assert entry.writes == self.model[block]
+
+    @rule()
+    def drain_oldest(self):
+        if not self.model:
+            return
+        drained = self.secpb.drain_oldest()
+        oldest_block, count = next(iter(self.model.items()))
+        assert drained.block_addr == oldest_block
+        assert drained.writes == count
+        del self.model[oldest_block]
+
+    @rule(asid=st.just(0))
+    def drain_all(self, asid):
+        drained = self.secpb.drain_all()
+        assert [d.block_addr for d in drained] == list(self.model)
+        self.model.clear()
+
+    @invariant()
+    def occupancy_matches(self):
+        assert self.secpb.occupancy == len(self.model)
+        assert self.secpb.occupancy <= 6
+
+    @invariant()
+    def stats_conserved(self):
+        assert self.secpb.stats.get("secpb.writes") == self.total_writes
+        assert self.secpb.stats.get("secpb.allocations") == self.total_allocations
+
+    @invariant()
+    def lookups_agree(self):
+        for block in range(16):
+            entry = self.secpb.lookup(block)
+            if block in self.model:
+                assert entry is not None and entry.writes == self.model[block]
+            else:
+                assert entry is None
+
+
+class StartGapModel(RuleBasedStateMachine):
+    """Start-Gap mapping stays a gap-avoiding permutation forever."""
+
+    LINES = 7
+
+    def __init__(self):
+        super().__init__()
+        self.leveler = StartGapWearLeveler(lines=self.LINES, psi=2)
+
+    @rule(line=st.integers(0, LINES - 1))
+    def write(self, line):
+        physical = self.leveler.write(line)
+        assert 0 <= physical <= self.LINES
+
+    @invariant()
+    def mapping_is_injective_and_avoids_gap(self):
+        mapped = [self.leveler.physical_of(i) for i in range(self.LINES)]
+        assert len(set(mapped)) == self.LINES
+        assert self.leveler.gap not in mapped
+        assert all(0 <= p <= self.LINES for p in mapped)
+
+
+TestSecPBModel = SecPBModel.TestCase
+TestSecPBModel.settings = settings(
+    max_examples=40, stateful_step_count=60, deadline=None
+)
+
+TestStartGapModel = StartGapModel.TestCase
+TestStartGapModel.settings = settings(
+    max_examples=30, stateful_step_count=80, deadline=None
+)

@@ -1,0 +1,128 @@
+"""Tests for repro.sim.stats — counters, derived metrics, aggregation."""
+
+import pytest
+
+from repro.sim.stats import (
+    SimulationResult,
+    StatsCollector,
+    arithmetic_mean,
+    geometric_mean,
+    summarize_slowdowns,
+)
+
+
+class TestStatsCollector:
+    def test_unset_counter_reads_zero(self):
+        assert StatsCollector().get("nothing") == 0.0
+
+    def test_add_accumulates(self):
+        stats = StatsCollector()
+        stats.add("x")
+        stats.add("x", 2.5)
+        assert stats.get("x") == 3.5
+
+    def test_set_overwrites(self):
+        stats = StatsCollector()
+        stats.add("x", 10)
+        stats.set("x", 1)
+        assert stats.get("x") == 1
+
+    def test_merge_folds_counters(self):
+        a, b = StatsCollector(), StatsCollector()
+        a.add("x", 1)
+        b.add("x", 2)
+        b.add("y", 3)
+        a.merge(b)
+        assert a.get("x") == 3
+        assert a.get("y") == 3
+
+    def test_reset_clears_everything(self):
+        stats = StatsCollector()
+        stats.add("x", 5)
+        stats.reset()
+        assert stats.get("x") == 0.0
+        assert stats.as_dict() == {}
+
+    def test_ratio_handles_zero_denominator(self):
+        stats = StatsCollector()
+        stats.add("a", 5)
+        assert stats.ratio("a", "b") == 0.0
+
+    def test_ppti_definition(self):
+        stats = StatsCollector()
+        stats.set("instructions", 10_000)
+        stats.set("secpb.allocations", 474)
+        assert stats.ppti == pytest.approx(47.4)
+
+    def test_ppti_zero_without_instructions(self):
+        assert StatsCollector().ppti == 0.0
+
+    def test_nwpe_definition(self):
+        stats = StatsCollector()
+        stats.set("secpb.writes", 210)
+        stats.set("secpb.allocations", 100)
+        assert stats.nwpe == pytest.approx(2.1)
+
+
+class TestSimulationResult:
+    def _result(self, cycles, instructions=1000, scheme="cm"):
+        return SimulationResult(scheme, "bench", cycles, instructions)
+
+    def test_ipc(self):
+        assert self._result(2000).ipc == pytest.approx(0.5)
+
+    def test_ipc_zero_cycles(self):
+        assert self._result(0).ipc == 0.0
+
+    def test_slowdown(self):
+        base = self._result(1000, scheme="bbb")
+        secure = self._result(1500)
+        assert secure.slowdown_vs(base) == pytest.approx(1.5)
+        assert secure.overhead_pct_vs(base) == pytest.approx(50.0)
+
+    def test_slowdown_requires_equal_work(self):
+        base = SimulationResult("bbb", "bench", 1000, 999)
+        secure = self._result(1500)
+        with pytest.raises(ValueError, match="equal work"):
+            secure.slowdown_vs(base)
+
+    def test_slowdown_rejects_zero_baseline(self):
+        base = self._result(0, scheme="bbb")
+        with pytest.raises(ValueError):
+            self._result(10).slowdown_vs(base)
+
+
+class TestMeans:
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_geometric_mean_identity(self):
+        assert geometric_mean([3.0]) == pytest.approx(3.0)
+
+    def test_geometric_mean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_geometric_mean_rejects_empty(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_arithmetic_mean(self):
+        assert arithmetic_mean([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+
+    def test_arithmetic_mean_rejects_empty(self):
+        with pytest.raises(ValueError):
+            arithmetic_mean([])
+
+
+class TestSummarizeSlowdowns:
+    def test_per_benchmark_ratio(self):
+        base = {"a": SimulationResult("bbb", "a", 100, 50)}
+        secure = {"a": SimulationResult("cm", "a", 150, 50)}
+        result = summarize_slowdowns(secure, base)
+        assert result == {"a": pytest.approx(1.5)}
+
+    def test_missing_baseline_raises(self):
+        secure = {"a": SimulationResult("cm", "a", 150, 50)}
+        with pytest.raises(KeyError, match="no baseline"):
+            summarize_slowdowns(secure, {})

@@ -1,0 +1,96 @@
+"""Tests for repro.security.tuple — the PLP crash-recoverability invariants."""
+
+import pytest
+
+from repro.security.tuple import (
+    ALL_COMPONENTS,
+    InvariantViolation,
+    TupleComponent,
+    TupleState,
+    audit_observable_state,
+    check_atomicity,
+    check_persist_order,
+)
+
+
+def complete_tuple(store_id, when):
+    state = TupleState(store_id, block_addr=store_id * 64)
+    for component in ALL_COMPONENTS:
+        state.persist(component, when)
+    return state
+
+
+class TestTupleState:
+    def test_initially_incomplete(self):
+        state = TupleState(0, 0)
+        assert not state.complete
+        assert state.completion_time is None
+        assert set(state.missing_components()) == set(ALL_COMPONENTS)
+
+    def test_complete_after_all_components(self):
+        state = complete_tuple(0, when=5.0)
+        assert state.complete
+        assert state.completion_time == 5.0
+        assert state.missing_components() == []
+
+    def test_completion_time_is_last_component(self):
+        state = TupleState(0, 0)
+        state.persist(TupleComponent.CIPHERTEXT, 1.0)
+        state.persist(TupleComponent.COUNTER, 2.0)
+        state.persist(TupleComponent.MAC, 7.0)
+        state.persist(TupleComponent.BMT_ROOT, 3.0)
+        assert state.completion_time == 7.0
+
+    def test_repersist_cannot_go_backwards(self):
+        state = TupleState(0, 0)
+        state.persist(TupleComponent.MAC, 5.0)
+        with pytest.raises(ValueError, match="re-persisted earlier"):
+            state.persist(TupleComponent.MAC, 3.0)
+
+
+class TestAtomicityInvariant:
+    def test_accepts_complete_tuples(self):
+        check_atomicity([complete_tuple(0, 1.0), complete_tuple(1, 2.0)])
+
+    def test_rejects_partial_tuple(self):
+        """Invariant 1 (PLP): a persisted store with any unpersisted tuple
+        component is unrecoverable."""
+        partial = TupleState(3, 0xC0)
+        partial.persist(TupleComponent.CIPHERTEXT, 1.0)
+        with pytest.raises(InvariantViolation, match="store 3"):
+            check_atomicity([partial])
+
+    def test_violation_names_missing_components(self):
+        partial = TupleState(0, 0)
+        partial.persist(TupleComponent.CIPHERTEXT, 1.0)
+        partial.persist(TupleComponent.COUNTER, 1.0)
+        with pytest.raises(InvariantViolation, match="M, R"):
+            check_atomicity([partial])
+
+
+class TestPersistOrderInvariant:
+    def test_accepts_ordered_completions(self):
+        check_persist_order([complete_tuple(0, 1.0), complete_tuple(1, 2.0)])
+
+    def test_accepts_simultaneous_completions(self):
+        check_persist_order([complete_tuple(0, 1.0), complete_tuple(1, 1.0)])
+
+    def test_rejects_inverted_completions(self):
+        """Invariant 2 (PLP): alpha1 -> alpha2 requires tuple1 -> tuple2."""
+        with pytest.raises(InvariantViolation, match="persist-order"):
+            check_persist_order([complete_tuple(0, 5.0), complete_tuple(1, 2.0)])
+
+    def test_checks_atomicity_first(self):
+        with pytest.raises(InvariantViolation):
+            check_persist_order([TupleState(0, 0)])
+
+
+class TestAudit:
+    def test_audit_ok(self):
+        ok, reason = audit_observable_state([complete_tuple(0, 1.0)])
+        assert ok and reason is None
+
+    def test_audit_reports_reason(self):
+        ok, reason = audit_observable_state([TupleState(0, 0)])
+        assert not ok
+        assert "missing" in reason

@@ -1,0 +1,29 @@
+"""Calibration helper: per-benchmark stats + scheme overheads."""
+import sys, time
+from repro.core.simulator import SecurePersistencySimulator
+from repro.core.schemes import get_scheme
+from repro.sim.config import SystemConfig
+from repro.workloads.spec import all_benchmarks, build_trace
+
+num_ops = int(sys.argv[1]) if len(sys.argv) > 1 else 20000
+warm = 0.3
+config = SystemConfig()
+schemes = ['cobcm','obcm','bcm','cm','nogap']
+sims = {s: SecurePersistencySimulator(config=config, scheme=get_scheme(s)) for s in schemes}
+bbb = SecurePersistencySimulator(config=config, scheme=None)
+print(f"{'bench':12s} {'ppti':>6s} {'nwpe':>6s} {'bipc':>5s} " + " ".join(f"{s:>8s}" for s in schemes))
+import math
+logs = {s: 0.0 for s in schemes}
+for b in all_benchmarks():
+    tr = build_trace(b, num_ops, 1)
+    base = bbb.run(tr, warm)
+    row = []
+    for s in schemes:
+        r = sims[s].run(tr, warm)
+        ov = r.overhead_pct_vs(base)
+        logs[s] += math.log(1 + ov/100.0)
+        row.append(ov)
+    print(f"{b:12s} {base.stats['ppti']:6.1f} {base.stats['nwpe']:6.1f} {base.ipc:5.2f} " + " ".join(f"{v:8.1f}" for v in row))
+n = len(all_benchmarks())
+print(f"{'GEOMEAN':12s} {'':6s} {'':6s} {'':5s} " + " ".join(f"{(math.exp(logs[s]/n)-1)*100:8.1f}" for s in schemes))
+print("paper:       cobcm 1.3  obcm 1.5  bcm 14.8  cm 71.3  nogap 118.4")

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Assemble benchmarks/results/*.txt into a single REPORT.md.
+
+Run after ``pytest benchmarks/ --benchmark-only``:
+
+    python tools/make_report.py [output.md]
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from datetime import date
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "benchmarks", "results")
+
+SECTIONS = [
+    ("Paper artifacts", ["table4", "fig6", "table5", "table6", "fig7", "fig8", "fig9"]),
+    (
+        "Ablations",
+        [
+            "ablation_coalescing",
+            "ablation_watermark",
+            "ablation_store_buffer",
+            "ablation_speculation",
+            "ablation_sensitivity",
+        ],
+    ),
+    (
+        "Extensions",
+        [
+            "ext_design_space",
+            "ext_multicore",
+            "ext_recovery_time",
+            "ext_persistency",
+            "ext_integrity_structures",
+            "ext_counter_overflow",
+            "ext_crash_policies",
+            "ext_device_models",
+        ],
+    ),
+]
+
+
+def main() -> int:
+    output = sys.argv[1] if len(sys.argv) > 1 else os.path.join(
+        os.path.dirname(__file__), "..", "REPORT.md"
+    )
+    parts = [
+        "# SecPB reproduction — generated results",
+        "",
+        f"Assembled {date.today().isoformat()} from `benchmarks/results/`.",
+        "Regenerate with `pytest benchmarks/ --benchmark-only && python tools/make_report.py`.",
+    ]
+    missing = []
+    for section, names in SECTIONS:
+        parts += ["", f"## {section}"]
+        for name in names:
+            path = os.path.join(RESULTS_DIR, f"{name}.txt")
+            if not os.path.exists(path):
+                missing.append(name)
+                continue
+            with open(path) as handle:
+                body = handle.read().rstrip()
+            parts += ["", f"### {name}", "", "```", body, "```"]
+    if missing:
+        parts += ["", f"_Missing artifacts (not yet run): {', '.join(missing)}_"]
+    with open(output, "w") as handle:
+        handle.write("\n".join(parts) + "\n")
+    print(f"wrote {output} ({len(parts)} sections, {len(missing)} missing)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
