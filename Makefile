@@ -1,0 +1,23 @@
+# Developer entry points.  `make smoke` is the per-PR gate: the tier-1
+# suite plus a small parallel-runner experiment, so the --jobs path is
+# exercised on every change.
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test smoke bench artifacts
+
+test:
+	$(PYTHON) -m pytest tests -x -q
+
+smoke: test
+	$(PYTHON) -m pytest benchmarks -m quick -q -p no:cacheprovider
+	$(PYTHON) -m repro experiment table4 --num-ops 2000 --jobs 2
+
+# Full paper-artifact harness (writes benchmarks/results/*.txt).
+# SECPB_BENCH_JOBS controls sweep parallelism, e.g. `make bench JOBS=8`.
+JOBS ?= 1
+bench:
+	SECPB_BENCH_JOBS=$(JOBS) $(PYTHON) -m pytest benchmarks --benchmark-only
+
+artifacts: bench

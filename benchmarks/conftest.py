@@ -21,6 +21,20 @@ RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 BENCH_NUM_OPS = int(os.environ.get("SECPB_BENCH_OPS", "40000"))
 SWEEP_NUM_OPS = int(os.environ.get("SECPB_SWEEP_OPS", "25000"))
 
+# Worker processes per experiment sweep (repro.analysis.runner).  The
+# default keeps pytest-benchmark timings comparable to older runs; set
+# SECPB_BENCH_JOBS=N to regenerate the whole harness N-core fast — the
+# rendered artifacts are bit-identical either way.
+BENCH_JOBS = int(os.environ.get("SECPB_BENCH_JOBS", "1"))
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "quick: fast smoke subset exercising the parallel runner "
+        "(run with `pytest benchmarks -m quick`)",
+    )
+
 
 @pytest.fixture(scope="session")
 def results_dir():

@@ -7,12 +7,14 @@ and load-dominated benchmarks (mcf, omnetpp) sit near the baseline.
 
 from repro.analysis.experiments import run_fig6
 
-from conftest import BENCH_NUM_OPS
+from conftest import BENCH_JOBS, BENCH_NUM_OPS
 
 
 def test_fig6_per_benchmark_series(benchmark, save_result):
     result = benchmark.pedantic(
-        run_fig6, kwargs=dict(num_ops=BENCH_NUM_OPS), rounds=1, iterations=1
+        run_fig6, kwargs=dict(num_ops=BENCH_NUM_OPS, jobs=BENCH_JOBS),
+        rounds=1,
+        iterations=1,
     )
     save_result("fig6", result.render())
     print("\n" + result.render())

@@ -6,12 +6,14 @@ returns from 32-64 entries on.
 
 from repro.analysis.experiments import run_fig7
 
-from conftest import SWEEP_NUM_OPS
+from conftest import BENCH_JOBS, SWEEP_NUM_OPS
 
 
 def test_fig7_secpb_size_sweep(benchmark, save_result):
     result = benchmark.pedantic(
-        run_fig7, kwargs=dict(num_ops=SWEEP_NUM_OPS), rounds=1, iterations=1
+        run_fig7, kwargs=dict(num_ops=SWEEP_NUM_OPS, jobs=BENCH_JOBS),
+        rounds=1,
+        iterations=1,
     )
     save_result("fig7", result.render())
     print("\n" + result.render())

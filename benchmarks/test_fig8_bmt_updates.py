@@ -7,17 +7,19 @@ paper reports 12.7% of sec_wt at 8 entries, 1.8% at 512.
 
 from repro.analysis.experiments import run_fig7, run_fig8
 
-from conftest import SWEEP_NUM_OPS
+from conftest import BENCH_JOBS, SWEEP_NUM_OPS
 
 
 def test_fig8_bmt_update_reduction(benchmark, save_result):
     result = benchmark.pedantic(
-        run_fig8, kwargs=dict(num_ops=SWEEP_NUM_OPS), rounds=1, iterations=1
+        run_fig8, kwargs=dict(num_ops=SWEEP_NUM_OPS, jobs=BENCH_JOBS),
+        rounds=1,
+        iterations=1,
     )
     rendered = result.render()
 
     # The size series comes from the same sweep as Fig. 7.
-    sweep = run_fig7(sizes=(8, 32, 512), num_ops=SWEEP_NUM_OPS)
+    sweep = run_fig7(sizes=(8, 32, 512), num_ops=SWEEP_NUM_OPS, jobs=BENCH_JOBS)
     size_lines = [
         "",
         "BMT root updates vs sec_wt across SecPB sizes (CM model):",

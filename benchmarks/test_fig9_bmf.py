@@ -6,12 +6,14 @@ cm_sbmf 56.6%; the highlight is cm_sbmf outperforming sp_dbmf.
 
 from repro.analysis.experiments import run_fig9
 
-from conftest import SWEEP_NUM_OPS
+from conftest import BENCH_JOBS, SWEEP_NUM_OPS
 
 
 def test_fig9_bmf_height_study(benchmark, save_result):
     result = benchmark.pedantic(
-        run_fig9, kwargs=dict(num_ops=SWEEP_NUM_OPS), rounds=1, iterations=1
+        run_fig9, kwargs=dict(num_ops=SWEEP_NUM_OPS, jobs=BENCH_JOBS),
+        rounds=1,
+        iterations=1,
     )
     save_result("fig9", result.render())
     print("\n" + result.render())

@@ -6,12 +6,14 @@ M 73.8%, NoGap 118.4%.
 
 from repro.analysis.experiments import run_table4
 
-from conftest import BENCH_NUM_OPS
+from conftest import BENCH_JOBS, BENCH_NUM_OPS
 
 
 def test_table4_scheme_overheads(benchmark, save_result):
     result = benchmark.pedantic(
-        run_table4, kwargs=dict(num_ops=BENCH_NUM_OPS), rounds=1, iterations=1
+        run_table4, kwargs=dict(num_ops=BENCH_NUM_OPS, jobs=BENCH_JOBS),
+        rounds=1,
+        iterations=1,
     )
     save_result("table4", result.render())
     print("\n" + result.render())

@@ -19,6 +19,7 @@ from .experiments import (
     run_table6,
 )
 from .report import format_table, paper_vs_measured, series_table
+from .runner import SimJob, SimSpec, execute_job, run_jobs
 from .serialize import load_result, result_to_dict, save_result, to_jsonable
 
 __all__ = [
@@ -27,8 +28,11 @@ __all__ = [
     "DEFAULT_NUM_OPS",
     "EXPERIMENTS",
     "SchemeOverheads",
+    "SimJob",
+    "SimSpec",
     "SizeBatteryTable",
     "SizeSweepResult",
+    "execute_job",
     "format_table",
     "load_result",
     "paper_values",
@@ -41,6 +45,7 @@ __all__ = [
     "run_table4",
     "run_table5",
     "result_to_dict",
+    "run_jobs",
     "run_table6",
     "save_result",
     "series_table",

@@ -16,6 +16,12 @@ Timing experiments are trace-driven; ``num_ops`` trades fidelity for run
 time (benchmark harnesses use larger traces than unit tests).  Every
 result object carries both the measured values and the paper's reported
 ones, and renders itself as text.
+
+All timing experiments express their sweep as :class:`~.runner.SimJob`
+lists executed by :func:`~.runner.run_jobs` — pass ``jobs=N`` to fan the
+(benchmark, configuration) simulations across ``N`` worker processes.
+The reduction is keyed and ordered, so parallel output is bit-identical
+to serial.
 """
 
 from __future__ import annotations
@@ -28,21 +34,22 @@ from ..baselines.eadr import (
     estimate_eadr,
     estimate_secure_eadr,
 )
-from ..baselines.strict import StrictPersistencySimulator
 from ..core.controller import TimingCalibration
-from ..core.schemes import SCHEMES, SPECTRUM_ORDER, get_scheme
-from ..core.simulator import SecurePersistencySimulator
+from ..core.schemes import SPECTRUM_ORDER, get_scheme
 from ..energy.battery import estimate_bbb, estimate_scheme, size_sweep
-from ..security.bmf import ForestTimingModel
 from ..sim.config import SECPB_SIZE_SWEEP, SystemConfig
-from ..sim.stats import SimulationResult, geometric_mean
-from ..workloads.spec import all_benchmarks, build_trace
+from ..sim.stats import geometric_mean
+from ..workloads.spec import all_benchmarks
 from . import paper_values
 from .report import format_table, paper_vs_measured, series_table
+from .runner import SimJob, SimSpec, run_jobs
 
 DEFAULT_NUM_OPS = 60_000
 DEFAULT_WARMUP = 0.3
 """Leading trace fraction excluded from timing (cache/SecPB warmup)."""
+
+BASELINE_LABEL = "bbb"
+"""Job-key label of the insecure BBB baseline inside overhead sweeps."""
 
 
 def _benchmark_list(benchmarks: Optional[Sequence[str]]) -> List[str]:
@@ -77,7 +84,7 @@ class SchemeOverheads:
 
 def _run_overhead_study(
     experiment: str,
-    scheme_runners: Mapping[str, Callable[[object], SimulationResult]],
+    scheme_specs: Mapping[str, SimSpec],
     benchmarks: Sequence[str],
     num_ops: int,
     seed: int,
@@ -85,20 +92,43 @@ def _run_overhead_study(
     calibration: TimingCalibration,
     paper: Mapping[str, float],
     warmup_frac: float = DEFAULT_WARMUP,
+    jobs: int = 1,
 ) -> SchemeOverheads:
-    """Shared loop: BBB baseline + N secure configurations per benchmark."""
-    bbb = SecurePersistencySimulator(config=config, scheme=None, calibration=calibration)
+    """Shared sweep: BBB baseline + N secure configurations per benchmark."""
+    baseline_spec = SimSpec(scheme=None, config=config, calibration=calibration)
+    job_list: List[SimJob] = []
+    for bench in benchmarks:
+        job_list.append(
+            SimJob(
+                key=(experiment, bench, BASELINE_LABEL),
+                benchmark=bench,
+                num_ops=num_ops,
+                seed=seed,
+                warmup_frac=warmup_frac,
+                spec=baseline_spec,
+            )
+        )
+        for name, spec in scheme_specs.items():
+            job_list.append(
+                SimJob(
+                    key=(experiment, bench, name),
+                    benchmark=bench,
+                    num_ops=num_ops,
+                    seed=seed,
+                    warmup_frac=warmup_frac,
+                    spec=spec,
+                )
+            )
+    results = run_jobs(job_list, workers=jobs)
     per_benchmark: Dict[str, Dict[str, float]] = {}
     mean: Dict[str, float] = {}
-    baselines: Dict[str, SimulationResult] = {}
     for bench in benchmarks:
-        trace = build_trace(bench, num_ops, seed)
-        baselines[bench] = bbb.run(trace, warmup_frac)
-        per_benchmark[bench] = {}
-        for name, runner in scheme_runners.items():
-            result = runner(trace, warmup_frac)
-            per_benchmark[bench][name] = result.overhead_pct_vs(baselines[bench])
-    for name in scheme_runners:
+        baseline = results[(experiment, bench, BASELINE_LABEL)]
+        per_benchmark[bench] = {
+            name: results[(experiment, bench, name)].overhead_pct_vs(baseline)
+            for name in scheme_specs
+        }
+    for name in scheme_specs:
         # The paper's per-benchmark extremes (e.g. gamess at 18.2x under
         # CM) are only consistent with its reported averages if "average"
         # is the geometric mean of normalized execution times — the
@@ -121,25 +151,25 @@ def run_table4(
     benchmarks: Optional[Sequence[str]] = None,
     config: Optional[SystemConfig] = None,
     calibration: Optional[TimingCalibration] = None,
+    jobs: int = 1,
 ) -> SchemeOverheads:
     """Table IV: mean slowdown of all six schemes, 32-entry SecPB."""
     config = config if config is not None else SystemConfig()
     calibration = calibration if calibration is not None else TimingCalibration()
-    runners = {
-        name: SecurePersistencySimulator(
-            config=config, scheme=SCHEMES[name], calibration=calibration
-        ).run
+    specs = {
+        name: SimSpec(scheme=name, config=config, calibration=calibration)
         for name in SPECTRUM_ORDER
     }
     return _run_overhead_study(
         "table4",
-        runners,
+        specs,
         _benchmark_list(benchmarks),
         num_ops,
         seed,
         config,
         calibration,
         paper_values.TABLE4_SLOWDOWN_PCT,
+        jobs=jobs,
     )
 
 
@@ -149,13 +179,14 @@ def run_fig6(
     benchmarks: Optional[Sequence[str]] = None,
     config: Optional[SystemConfig] = None,
     calibration: Optional[TimingCalibration] = None,
+    jobs: int = 1,
 ) -> SchemeOverheads:
     """Fig. 6: per-benchmark execution time normalized to BBB.
 
     Same data as Table IV at per-benchmark granularity; the render method
     prints the full per-benchmark grid (the figure's series).
     """
-    result = run_table4(num_ops, seed, benchmarks, config, calibration)
+    result = run_table4(num_ops, seed, benchmarks, config, calibration, jobs)
     result.experiment = "fig6"
     return result
 
@@ -289,6 +320,7 @@ def run_fig7(
     seed: int = 1,
     benchmarks: Optional[Sequence[str]] = None,
     calibration: Optional[TimingCalibration] = None,
+    jobs: int = 1,
 ) -> SizeSweepResult:
     """Fig. 7: execution time of various SecPB sizes under the CM model.
 
@@ -297,22 +329,34 @@ def run_fig7(
     """
     calibration = calibration if calibration is not None else TimingCalibration()
     benchmarks = _benchmark_list(benchmarks)
+    job_list: List[SimJob] = []
+    for size in sizes:
+        for label, scheme in ((BASELINE_LABEL, None), ("cm", "cm")):
+            spec = SimSpec(
+                scheme=scheme, secpb_entries=size, calibration=calibration
+            )
+            for bench in benchmarks:
+                job_list.append(
+                    SimJob(
+                        key=("fig7", size, bench, label),
+                        benchmark=bench,
+                        num_ops=num_ops,
+                        seed=seed,
+                        warmup_frac=DEFAULT_WARMUP,
+                        spec=spec,
+                    )
+                )
+    results = run_jobs(job_list, workers=jobs)
     overhead: Dict[int, float] = {}
     per_benchmark: Dict[str, Dict[int, float]] = {b: {} for b in benchmarks}
     bmt_pct: Dict[int, float] = {}
     for size in sizes:
-        config = SystemConfig().with_secpb_entries(size)
-        bbb = SecurePersistencySimulator(config=config, scheme=None, calibration=calibration)
-        cm = SecurePersistencySimulator(
-            config=config, scheme=get_scheme("cm"), calibration=calibration
-        )
         slowdowns = []
         total_stores = 0.0
         total_updates = 0.0
         for bench in benchmarks:
-            trace = build_trace(bench, num_ops, seed)
-            base = bbb.run(trace, DEFAULT_WARMUP)
-            result = cm.run(trace, DEFAULT_WARMUP)
+            base = results[("fig7", size, bench, BASELINE_LABEL)]
+            result = results[("fig7", size, bench, "cm")]
             pct_overhead = result.overhead_pct_vs(base)
             per_benchmark[bench][size] = pct_overhead
             slowdowns.append(1.0 + pct_overhead / 100.0)
@@ -349,21 +393,31 @@ def run_fig8(
     benchmarks: Optional[Sequence[str]] = None,
     config: Optional[SystemConfig] = None,
     calibration: Optional[TimingCalibration] = None,
+    jobs: int = 1,
 ) -> BmtUpdatesResult:
     """Fig. 8: BMT root updates of each scheme vs sec_wt (one per store)."""
     config = config if config is not None else SystemConfig()
     calibration = calibration if calibration is not None else TimingCalibration()
     benchmarks = _benchmark_list(benchmarks)
+    job_list = [
+        SimJob(
+            key=("fig8", name, bench),
+            benchmark=bench,
+            num_ops=num_ops,
+            seed=seed,
+            warmup_frac=DEFAULT_WARMUP,
+            spec=SimSpec(scheme=name, config=config, calibration=calibration),
+        )
+        for name in SPECTRUM_ORDER
+        for bench in benchmarks
+    ]
+    results = run_jobs(job_list, workers=jobs)
     result: Dict[str, float] = {}
     for name in SPECTRUM_ORDER:
-        sim = SecurePersistencySimulator(
-            config=config, scheme=SCHEMES[name], calibration=calibration
-        )
         total_stores = 0.0
         total_updates = 0.0
         for bench in benchmarks:
-            trace = build_trace(bench, num_ops, seed)
-            run = sim.run(trace, DEFAULT_WARMUP)
+            run = results[("fig8", name, bench)]
             total_stores += run.stats.get("secpb.writes", 0.0)
             total_updates += run.stats.get("bmt.root_updates", 0.0)
         result[name] = (
@@ -378,6 +432,7 @@ def run_fig9(
     benchmarks: Optional[Sequence[str]] = None,
     calibration: Optional[TimingCalibration] = None,
     root_cache_bytes: int = 4096,
+    jobs: int = 1,
 ) -> SchemeOverheads:
     """Fig. 9: BMT-height study — CM and SP, each with DBMF/SBMF.
 
@@ -386,56 +441,42 @@ def run_fig9(
     """
     config = SystemConfig()
     calibration = calibration if calibration is not None else TimingCalibration()
-    cm = get_scheme("cm")
 
-    def forest_fn(cut: int) -> ForestTimingModel:
-        return ForestTimingModel(
-            full_height=config.security.bmt_levels,
-            cut_height=cut,
+    def cm_spec(cut: Optional[int]) -> SimSpec:
+        return SimSpec(
+            scheme="cm",
+            bmf_cut=cut,
             root_cache_bytes=root_cache_bytes,
+            config=config,
+            calibration=calibration,
         )
 
-    def cm_runner(cut: Optional[int]):
-        def run(trace, warmup_frac=0.0):
-            forest = forest_fn(cut) if cut is not None else None
-            sim = SecurePersistencySimulator(
-                config=config,
-                scheme=cm,
-                calibration=calibration,
-                bmt_levels_fn=forest.levels if forest is not None else None,
-            )
-            return sim.run(trace, warmup_frac)
+    def sp_spec(cut: int) -> SimSpec:
+        return SimSpec(
+            simulator="strict",
+            bmf_cut=cut,
+            root_cache_bytes=root_cache_bytes,
+            config=config,
+            calibration=calibration,
+        )
 
-        return run
-
-    def sp_runner(cut: Optional[int]):
-        def run(trace, warmup_frac=0.0):
-            forest = forest_fn(cut) if cut is not None else None
-            sim = StrictPersistencySimulator(
-                config=config,
-                calibration=calibration,
-                bmt_levels_fn=forest.levels if forest is not None else None,
-            )
-            return sim.run(trace, warmup_frac)
-
-        return run
-
-    runners = {
-        "cm": cm_runner(None),
-        "cm_dbmf": cm_runner(2),
-        "cm_sbmf": cm_runner(5),
-        "sp_dbmf": sp_runner(2),
-        "sp_sbmf": sp_runner(5),
+    specs = {
+        "cm": cm_spec(None),
+        "cm_dbmf": cm_spec(2),
+        "cm_sbmf": cm_spec(5),
+        "sp_dbmf": sp_spec(2),
+        "sp_sbmf": sp_spec(5),
     }
     return _run_overhead_study(
         "fig9",
-        runners,
+        specs,
         _benchmark_list(benchmarks),
         num_ops,
         seed,
         config,
         calibration,
         paper_values.FIG9_OVERHEAD_PCT,
+        jobs=jobs,
     )
 
 

@@ -1,0 +1,179 @@
+"""Parallel experiment runner: fan simulation jobs across worker processes.
+
+Every timing artifact (Table IV, Figs. 6-9) is a sweep over
+(benchmark, configuration) pairs whose simulations are completely
+independent — only the final reduction (geometric means, update ratios)
+couples them.  This module turns such a sweep into a list of
+:class:`SimJob` descriptions, executes them serially or on a process
+pool, and returns results keyed by each job's stable key so the caller's
+reduction is *identical* regardless of worker count or completion order:
+
+* a job is pure data (picklable dataclasses of primitives and frozen
+  config dataclasses), so workers rebuild the simulator from scratch and
+  every run is bit-deterministic;
+* traces come from the process-local memoizing
+  :mod:`repro.workloads.store`, so each worker materializes any given
+  (benchmark, num_ops, seed) trace at most once across all its jobs;
+* results are assembled in *submission order* into a plain dict — the
+  parallel output is the same object, bit for bit, as the serial one.
+
+Per-job progress and wall-clock timing are emitted on the
+``repro.analysis.runner`` logger (enable with ``--verbose`` on the CLI);
+logging never touches stdout, keeping rendered artifacts byte-identical
+across worker counts.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..baselines.strict import StrictPersistencySimulator
+from ..core.controller import TimingCalibration
+from ..core.schemes import SCHEMES
+from ..core.simulator import SecurePersistencySimulator
+from ..security.bmf import ForestTimingModel
+from ..sim.config import SystemConfig
+from ..sim.stats import SimulationResult
+from ..workloads.store import get_trace
+
+logger = logging.getLogger(__name__)
+
+JobKey = Tuple
+"""A job's stable identity — any hashable tuple, unique within one sweep."""
+
+
+@dataclass(frozen=True)
+class SimSpec:
+    """What to simulate: a picklable description of one simulator setup.
+
+    Attributes:
+        simulator: ``"secure"`` (:class:`SecurePersistencySimulator`) or
+            ``"strict"`` (the SP baseline).
+        scheme: registry name of the SecPB scheme; ``None`` is the
+            insecure BBB baseline (``simulator="secure"`` only).
+        secpb_entries: optional SecPB size override (Fig. 7 sweeps).
+        bmf_cut: optional BMF cut height — builds a fresh
+            :class:`~repro.security.bmf.ForestTimingModel` per run
+            (Fig. 9's DBMF=2 / SBMF=5 variants).
+        root_cache_bytes: BMF root-cache size when ``bmf_cut`` is set.
+        config: optional base system configuration (default Table I).
+        calibration: optional timing calibration (default constants).
+    """
+
+    simulator: str = "secure"
+    scheme: Optional[str] = None
+    secpb_entries: Optional[int] = None
+    bmf_cut: Optional[int] = None
+    root_cache_bytes: int = 4096
+    config: Optional[SystemConfig] = None
+    calibration: Optional[TimingCalibration] = None
+
+    def __post_init__(self) -> None:
+        if self.simulator not in ("secure", "strict"):
+            raise ValueError(f"unknown simulator kind {self.simulator!r}")
+        if self.scheme is not None and self.scheme not in SCHEMES:
+            raise KeyError(
+                f"unknown scheme {self.scheme!r}; available: {sorted(SCHEMES)}"
+            )
+
+
+@dataclass(frozen=True)
+class SimJob:
+    """One unit of work: a :class:`SimSpec` applied to one trace.
+
+    ``key`` orders and identifies the job in the result mapping; keys
+    must be unique within one :func:`run_jobs` call.
+    """
+
+    key: JobKey
+    benchmark: str
+    num_ops: int
+    seed: int
+    warmup_frac: float
+    spec: SimSpec
+
+
+def execute_job(job: SimJob) -> SimulationResult:
+    """Run one job in the current process (trace via the memoizing store)."""
+    spec = job.spec
+    trace = get_trace(job.benchmark, job.num_ops, job.seed)
+    config = spec.config if spec.config is not None else SystemConfig()
+    if spec.secpb_entries is not None:
+        config = config.with_secpb_entries(spec.secpb_entries)
+    bmt_levels_fn = None
+    if spec.bmf_cut is not None:
+        forest = ForestTimingModel(
+            full_height=config.security.bmt_levels,
+            cut_height=spec.bmf_cut,
+            root_cache_bytes=spec.root_cache_bytes,
+        )
+        bmt_levels_fn = forest.levels
+    if spec.simulator == "strict":
+        simulator = StrictPersistencySimulator(
+            config=config,
+            calibration=spec.calibration,
+            bmt_levels_fn=bmt_levels_fn,
+        )
+    else:
+        scheme = SCHEMES[spec.scheme] if spec.scheme is not None else None
+        simulator = SecurePersistencySimulator(
+            config=config,
+            scheme=scheme,
+            calibration=spec.calibration,
+            bmt_levels_fn=bmt_levels_fn,
+        )
+    return simulator.run(trace, job.warmup_frac)
+
+
+def _timed_execute(job: SimJob) -> Tuple[SimulationResult, float]:
+    start = time.perf_counter()
+    result = execute_job(job)
+    return result, time.perf_counter() - start
+
+
+def run_jobs(
+    jobs: Sequence[SimJob], workers: int = 1
+) -> Dict[JobKey, SimulationResult]:
+    """Execute ``jobs`` and return ``{job.key: result}`` in job order.
+
+    ``workers <= 1`` runs serially in-process (the default, and the
+    reference behavior); ``workers > 1`` fans jobs out on a process pool.
+    Both paths produce bit-identical result mappings — the simulations
+    are deterministic and results are keyed, so completion order cannot
+    leak into the output.
+    """
+    jobs = list(jobs)
+    keys = [job.key for job in jobs]
+    if len(set(keys)) != len(keys):
+        seen: set = set()
+        dupes = set()
+        for key in keys:
+            (dupes if key in seen else seen).add(key)
+        raise ValueError(f"duplicate job keys: {sorted(map(str, dupes))}")
+
+    total = len(jobs)
+    results: Dict[JobKey, SimulationResult] = {}
+    if workers <= 1 or total <= 1:
+        for index, job in enumerate(jobs, start=1):
+            result, elapsed = _timed_execute(job)
+            results[job.key] = result
+            logger.info(
+                "[%d/%d] %s: %.0f cycles in %.2fs",
+                index, total, job.key, result.cycles, elapsed,
+            )
+    else:
+        with ProcessPoolExecutor(max_workers=min(workers, total)) as pool:
+            futures = {pool.submit(_timed_execute, job): job for job in jobs}
+            for index, future in enumerate(as_completed(futures), start=1):
+                job = futures[future]
+                result, elapsed = future.result()
+                results[job.key] = result
+                logger.info(
+                    "[%d/%d] %s: %.0f cycles in %.2fs",
+                    index, total, job.key, result.cycles, elapsed,
+                )
+    return {job.key: results[job.key] for job in jobs}

@@ -40,9 +40,10 @@ def run_bbb(
     trace: Trace,
     config: Optional[SystemConfig] = None,
     calibration: Optional[TimingCalibration] = None,
+    warmup_frac: float = 0.0,
 ) -> SimulationResult:
     """Simulate one trace under insecure BBB."""
-    return make_bbb_simulator(config, calibration).run(trace)
+    return make_bbb_simulator(config, calibration).run(trace, warmup_frac)
 
 
 class PlaintextPersistentSystem:

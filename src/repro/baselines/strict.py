@@ -85,12 +85,14 @@ class StrictPersistencySimulator:
         warmup_ops = int(len(trace) * warmup_frac)
         warmup_clock = 0.0
         warmup_instructions = 0
+        warmup_stats: dict = {}
         op_index = 0
 
         for is_store, block_addr, gap in trace.iter_ops():
             if op_index == warmup_ops and warmup_ops:
                 warmup_clock = clock
                 warmup_instructions = instructions
+                warmup_stats = stats.snapshot()
             op_index += 1
             instructions += gap + 1
             clock += gap * cal.cpi_base
@@ -126,7 +128,12 @@ class StrictPersistencySimulator:
             stall = store_buffer.push(clock, completion)
             clock += stall + 1.0
 
-        stats.set("instructions", instructions)
+        if warmup_ops:
+            # Warmup counts (BMT root updates, MAC generations, cache
+            # hits) are excluded so reported ratios cover only the
+            # measured region — mirroring SecurePersistencySimulator.
+            stats.subtract(warmup_stats)
+        stats.set("instructions", instructions - warmup_instructions)
         result = SimulationResult(
             scheme=self.SCHEME_NAME,
             benchmark=trace.name,

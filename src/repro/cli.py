@@ -17,10 +17,12 @@ Commands:
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 from typing import List, Optional
 
-from .analysis.experiments import EXPERIMENTS, run_experiment
+from .analysis.experiments import DEFAULT_WARMUP, EXPERIMENTS, run_experiment
+from .analysis.serialize import save_result
 from .baselines.bbb import run_bbb
 from .core.schemes import SPECTRUM_ORDER, get_scheme
 from .core.simulator import run_scheme
@@ -28,21 +30,33 @@ from .energy.advisor import recommend
 from .energy.costs import LI_THIN, SUPERCAP
 from .workloads.spec import all_benchmarks, build_trace
 
+TIMING_EXPERIMENTS = ("table4", "fig6", "fig7", "fig8", "fig9")
+"""Trace-driven experiments that accept num_ops/seed/jobs."""
+
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
+    if args.verbose:
+        # Per-job progress/timing from the runner goes to stderr, keeping
+        # the rendered artifact on stdout byte-identical across --jobs.
+        logging.basicConfig(
+            level=logging.INFO, stream=sys.stderr, format="%(message)s"
+        )
     kwargs = {}
-    if args.id in ("table4", "fig6", "fig8", "fig9"):
-        kwargs["num_ops"] = args.num_ops
-    elif args.id == "fig7":
-        kwargs["num_ops"] = args.num_ops
+    if args.id in TIMING_EXPERIMENTS:
+        kwargs.update(num_ops=args.num_ops, seed=args.seed, jobs=args.jobs)
     result = run_experiment(args.id, **kwargs)
     print(result.render())
+    if args.save:
+        save_result(result, args.save)
+        print(f"result saved to {args.save}", file=sys.stderr)
     return 0
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
     trace = build_trace(args.benchmark, args.num_ops, args.seed)
-    baseline = run_bbb(trace)
+    # The BBB baseline honors the same warmup as the scheme runs, so the
+    # printed overheads match `experiment table4` for the same benchmark.
+    baseline = run_bbb(trace, warmup_frac=args.warmup)
     print(
         f"benchmark {args.benchmark}: {trace.num_stores} stores / "
         f"{trace.instructions} instructions"
@@ -52,7 +66,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     )
     schemes = SPECTRUM_ORDER if args.scheme == "all" else [args.scheme]
     for name in schemes:
-        result = run_scheme(trace, get_scheme(name))
+        result = run_scheme(trace, get_scheme(name), warmup_frac=args.warmup)
         print(
             f"  {name:<7} cycles={result.cycles:12.0f} "
             f"ipc={result.ipc:5.2f} "
@@ -161,6 +175,27 @@ def build_parser() -> argparse.ArgumentParser:
     experiment = sub.add_parser("experiment", help="regenerate a paper artifact")
     experiment.add_argument("id", choices=sorted(EXPERIMENTS))
     experiment.add_argument("--num-ops", type=int, default=20_000)
+    experiment.add_argument(
+        "--seed", type=int, default=1, help="trace-generation seed"
+    )
+    experiment.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the simulation sweep (default: serial)",
+    )
+    experiment.add_argument(
+        "--save",
+        metavar="PATH",
+        default=None,
+        help="also persist the result as JSON (repro.analysis.serialize)",
+    )
+    experiment.add_argument(
+        "--verbose",
+        "-v",
+        action="store_true",
+        help="per-job progress/timing on stderr",
+    )
     experiment.set_defaults(func=_cmd_experiment)
 
     simulate = sub.add_parser("simulate", help="run one benchmark/scheme pair")
@@ -170,6 +205,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     simulate.add_argument("--num-ops", type=int, default=20_000)
     simulate.add_argument("--seed", type=int, default=1)
+    simulate.add_argument(
+        "--warmup",
+        type=float,
+        default=DEFAULT_WARMUP,
+        help="leading trace fraction excluded from timing "
+        "(matches the experiment harness default)",
+    )
     simulate.set_defaults(func=_cmd_simulate)
 
     advisor = sub.add_parser("advisor", help="scheme choice for a battery budget")

@@ -48,6 +48,21 @@ class StatsCollector:
         for name, value in other._counters.items():
             self._counters[name] += value
 
+    def snapshot(self) -> Dict[str, float]:
+        """Freeze the current counter values (e.g. at a warmup boundary)."""
+        return dict(self._counters)
+
+    def subtract(self, snapshot: Mapping[str, float]) -> None:
+        """Remove a previously :meth:`snapshot`-ted region's counts.
+
+        Used to exclude a warmup region: snapshot at the boundary, then
+        subtract after the run so every counter — and every statistic
+        derived from one, like PPTI/NWPE — covers only the measured
+        region.
+        """
+        for name, value in snapshot.items():
+            self._counters[name] -= value
+
     def reset(self) -> None:
         """Zero every counter."""
         self._counters.clear()

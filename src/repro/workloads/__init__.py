@@ -1,6 +1,7 @@
 """Workload substrate: trace format, synthetic generators, SPEC profiles."""
 
 from .spec import PROFILES, BenchmarkProfile, all_benchmarks, build_trace
+from .store import DEFAULT_STORE, TraceStore, get_trace
 from .synthetic import (
     hotspot_trace,
     pointer_chase_trace,
@@ -12,10 +13,13 @@ from .trace import Trace
 
 __all__ = [
     "BenchmarkProfile",
+    "DEFAULT_STORE",
     "PROFILES",
     "Trace",
+    "TraceStore",
     "all_benchmarks",
     "build_trace",
+    "get_trace",
     "hotspot_trace",
     "pointer_chase_trace",
     "streaming_trace",

@@ -1,0 +1,83 @@
+"""Memoizing trace store: build each benchmark trace once, share it.
+
+Every timing experiment in :mod:`repro.analysis.experiments` iterates the
+same 18 benchmark profiles; before this store each experiment (and each
+scheme sweep inside one) rebuilt identical traces from scratch.  The store
+memoizes materialized traces under the deterministic key
+``(benchmark, num_ops, seed)`` — the exact inputs that fully determine a
+profile's output — so a process builds any given trace at most once and
+all experiments share it.
+
+Traces are immutable once built (the simulators only read them), so
+handing the *same object* to every caller is safe and the cache-hit path
+is free.  Worker processes of the parallel runner
+(:mod:`repro.analysis.runner`) each hold their own process-local default
+store.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+from .spec import build_trace
+from .trace import Trace
+
+TraceKey = Tuple[str, int, int]
+
+
+class TraceStore:
+    """An LRU-bounded memo of built traces keyed by (benchmark, num_ops, seed).
+
+    Args:
+        max_traces: optional bound on resident traces; the least recently
+            used trace is evicted past it.  ``None`` (the default) keeps
+            everything — the full 18-benchmark sweep at experiment scale
+            is only a few hundred MB of int64 columns.
+    """
+
+    def __init__(self, max_traces: Optional[int] = None):
+        if max_traces is not None and max_traces <= 0:
+            raise ValueError("max_traces must be positive (or None)")
+        self.max_traces = max_traces
+        self._traces: "OrderedDict[TraceKey, Trace]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._traces)
+
+    def get(self, benchmark: str, num_ops: int, seed: int = 1) -> Trace:
+        """The memoized trace for (benchmark, num_ops, seed).
+
+        A hit returns the identical :class:`Trace` object previously
+        built; a miss materializes the profile via
+        :func:`repro.workloads.spec.build_trace` and caches it.
+        """
+        key = (benchmark, int(num_ops), int(seed))
+        trace = self._traces.get(key)
+        if trace is not None:
+            self.hits += 1
+            self._traces.move_to_end(key)
+            return trace
+        self.misses += 1
+        trace = build_trace(benchmark, num_ops, seed)
+        self._traces[key] = trace
+        if self.max_traces is not None and len(self._traces) > self.max_traces:
+            self._traces.popitem(last=False)
+        return trace
+
+    def clear(self) -> None:
+        """Drop every cached trace and reset the hit/miss counters."""
+        self._traces.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+DEFAULT_STORE = TraceStore()
+"""Process-local default store shared by experiments and runner workers."""
+
+
+def get_trace(benchmark: str, num_ops: int, seed: int = 1) -> Trace:
+    """Fetch (building at most once) a trace from the default store."""
+    return DEFAULT_STORE.get(benchmark, num_ops, seed)

@@ -1,0 +1,96 @@
+"""Tests for repro.workloads.store — the memoizing trace store."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.spec import build_trace
+from repro.workloads.store import DEFAULT_STORE, TraceStore, get_trace
+
+
+class TestTraceStore:
+    def test_cache_hit_returns_identical_trace(self):
+        store = TraceStore()
+        first = store.get("gamess", 1000, seed=1)
+        second = store.get("gamess", 1000, seed=1)
+        assert second is first
+        assert store.hits == 1
+        assert store.misses == 1
+
+    def test_cached_trace_matches_direct_build(self):
+        store = TraceStore()
+        cached = store.get("povray", 800, seed=3)
+        direct = build_trace("povray", 800, 3)
+        assert np.array_equal(cached.is_store, direct.is_store)
+        assert np.array_equal(cached.block_addr, direct.block_addr)
+        assert np.array_equal(cached.gap, direct.gap)
+
+    def test_different_seed_misses(self):
+        store = TraceStore()
+        a = store.get("gamess", 1000, seed=1)
+        b = store.get("gamess", 1000, seed=2)
+        assert a is not b
+        assert store.misses == 2
+        assert store.hits == 0
+
+    def test_different_num_ops_misses(self):
+        store = TraceStore()
+        a = store.get("gamess", 1000, seed=1)
+        b = store.get("gamess", 2000, seed=1)
+        assert a is not b
+        assert len(a) == 1000
+        assert len(b) == 2000
+        assert store.misses == 2
+
+    def test_different_benchmark_misses(self):
+        store = TraceStore()
+        store.get("gamess", 500)
+        store.get("povray", 500)
+        assert store.misses == 2
+        assert len(store) == 2
+
+    def test_unknown_benchmark_raises_and_caches_nothing(self):
+        store = TraceStore()
+        with pytest.raises(KeyError, match="unknown benchmark"):
+            store.get("not-a-benchmark", 100)
+        assert len(store) == 0
+
+    def test_lru_eviction_respects_bound(self):
+        store = TraceStore(max_traces=2)
+        first = store.get("gamess", 500)
+        store.get("povray", 500)
+        store.get("hmmer", 500)  # evicts gamess (least recently used)
+        assert len(store) == 2
+        refetched = store.get("gamess", 500)
+        assert refetched is not first
+        assert store.misses == 4
+
+    def test_lru_touch_on_hit_protects_entry(self):
+        store = TraceStore(max_traces=2)
+        first = store.get("gamess", 500)
+        store.get("povray", 500)
+        assert store.get("gamess", 500) is first  # moves gamess to MRU
+        store.get("hmmer", 500)  # evicts povray, not gamess
+        assert store.get("gamess", 500) is first
+
+    def test_invalid_bound_rejected(self):
+        with pytest.raises(ValueError, match="max_traces"):
+            TraceStore(max_traces=0)
+
+    def test_clear_resets_contents_and_counters(self):
+        store = TraceStore()
+        store.get("gamess", 500)
+        store.get("gamess", 500)
+        store.clear()
+        assert len(store) == 0
+        assert store.hits == 0
+        assert store.misses == 0
+
+
+class TestDefaultStore:
+    def test_get_trace_uses_default_store(self):
+        baseline = len(DEFAULT_STORE)
+        a = get_trace("leslie3d", 700, seed=9)
+        b = get_trace("leslie3d", 700, seed=9)
+        assert a is b
+        assert DEFAULT_STORE.get("leslie3d", 700, 9) is a
+        assert len(DEFAULT_STORE) == baseline + 1
