@@ -5,10 +5,31 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test smoke bench artifacts
+.PHONY: test smoke bench artifacts lint ci
 
 test:
 	$(PYTHON) -m pytest tests -x -q
+
+# Static analysis gate: secpb-lint always runs (stdlib-only); ruff and
+# mypy run when installed and are skipped gracefully when not, so the
+# target works in the hermetic container and in a dev venv alike.
+lint:
+	$(PYTHON) -m repro.lint src
+	@if $(PYTHON) -c "import ruff" >/dev/null 2>&1; then \
+		$(PYTHON) -m ruff check src tests; \
+	else \
+		echo "ruff not installed; skipping"; \
+	fi
+	@if $(PYTHON) -c "import mypy" >/dev/null 2>&1; then \
+		$(PYTHON) -m mypy src/repro/core/schemes.py src/repro/analysis/runner.py src/repro/lint; \
+	else \
+		echo "mypy not installed; skipping"; \
+	fi
+
+# The CI entry point: static analysis, the tier-1 suite, and the quick
+# parallel-runner smoke (mirrors .github/workflows/ci.yml).
+ci: lint test
+	$(PYTHON) -m pytest benchmarks -m quick -q -p no:cacheprovider
 
 smoke: test
 	$(PYTHON) -m pytest benchmarks -m quick -q -p no:cacheprovider

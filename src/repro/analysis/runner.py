@@ -29,7 +29,7 @@ import logging
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Any, Dict, Optional, Sequence, Set, Tuple
 
 from ..baselines.strict import StrictPersistencySimulator
 from ..core.controller import TimingCalibration
@@ -42,7 +42,7 @@ from ..workloads.store import get_trace
 
 logger = logging.getLogger(__name__)
 
-JobKey = Tuple
+JobKey = Tuple[Any, ...]
 """A job's stable identity — any hashable tuple, unique within one sweep."""
 
 
@@ -149,8 +149,8 @@ def run_jobs(
     jobs = list(jobs)
     keys = [job.key for job in jobs]
     if len(set(keys)) != len(keys):
-        seen: set = set()
-        dupes = set()
+        seen: Set[JobKey] = set()
+        dupes: Set[JobKey] = set()
         for key in keys:
             (dupes if key in seen else seen).add(key)
         raise ValueError(f"duplicate job keys: {sorted(map(str, dupes))}")

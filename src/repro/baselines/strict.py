@@ -15,7 +15,7 @@ vs cm_dbmf vs cm_sbmf) differ only in the mechanisms under study.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable, Dict, Optional
 
 from ..core.controller import TimingCalibration
 from ..security.metadata_cache import MetadataCaches
@@ -85,7 +85,7 @@ class StrictPersistencySimulator:
         warmup_ops = int(len(trace) * warmup_frac)
         warmup_clock = 0.0
         warmup_instructions = 0
-        warmup_stats: dict = {}
+        warmup_stats: Dict[str, float] = {}
         op_index = 0
 
         for is_store, block_addr, gap in trace.iter_ops():

@@ -11,6 +11,8 @@ Commands:
 * ``multicore`` — multi-core scaling of one scheme with sharing traffic.
 * ``recover-demo`` — the quickstart crash-recovery walkthrough.
 * ``workloads`` — characterize the 18 profiles (PPTI / NWPE / IPC).
+* ``lint`` — run secpb-lint (determinism / scheme-invariant /
+  stats-hygiene / pool-safety static analysis) over the source tree.
 * ``list`` — available benchmarks, schemes and experiments.
 """
 
@@ -158,6 +160,20 @@ def _cmd_workloads(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .lint.cli import main as lint_main
+
+    forwarded: List[str] = list(args.paths)
+    forwarded += ["--format", args.format]
+    for code in args.select or []:
+        forwarded += ["--select", code]
+    for code in args.ignore or []:
+        forwarded += ["--ignore", code]
+    if args.list_rules:
+        forwarded.append("--list-rules")
+    return lint_main(forwarded)
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
     print("schemes:     " + ", ".join(SPECTRUM_ORDER))
     print("experiments: " + ", ".join(sorted(EXPERIMENTS)))
@@ -247,6 +263,18 @@ def build_parser() -> argparse.ArgumentParser:
     workloads.add_argument("--num-ops", type=int, default=20_000)
     workloads.add_argument("--seed", type=int, default=1)
     workloads.set_defaults(func=_cmd_workloads)
+
+    lint = sub.add_parser(
+        "lint",
+        help="secpb-lint static analysis (determinism, scheme invariants, "
+        "stats hygiene, pool safety)",
+    )
+    lint.add_argument("paths", nargs="*", default=["src"])
+    lint.add_argument("--format", choices=["text", "json"], default="text")
+    lint.add_argument("--select", action="append", metavar="CODE")
+    lint.add_argument("--ignore", action="append", metavar="CODE")
+    lint.add_argument("--list-rules", action="store_true")
+    lint.set_defaults(func=_cmd_lint)
 
     lister = sub.add_parser("list", help="available schemes/benchmarks/experiments")
     lister.set_defaults(func=_cmd_list)

@@ -86,12 +86,21 @@ class Scheme:
     late_steps: FrozenSet[MetadataStep]
 
     def __post_init__(self) -> None:
+        # Sets are sorted before formatting: hash randomization would
+        # otherwise make the message text differ across pool workers
+        # (secpb-lint SPB103).
         overlap = self.early_steps & self.late_steps
         if overlap:
-            raise ValueError(f"{self.name}: steps both early and late: {overlap}")
+            raise ValueError(
+                f"{self.name}: steps both early and late: "
+                f"{sorted(s.value for s in overlap)}"
+            )
         missing = set(ALL_STEPS) - (self.early_steps | self.late_steps)
         if missing:
-            raise ValueError(f"{self.name}: unassigned steps: {missing}")
+            raise ValueError(
+                f"{self.name}: unassigned steps: "
+                f"{sorted(s.value for s in missing)}"
+            )
         # A step can only be early if all its dependencies are early too
         # (Fig. 4's event-trigger/data-dependence edges): e.g. the OTP cannot
         # be generated eagerly from a counter that does not exist yet.

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from ..sim.config import SecPBConfig
 from ..sim.stats import StatsCollector
@@ -135,7 +135,7 @@ class SecPB:
         block_addr: int,
         plaintext: Optional[bytes] = None,
         asid: int = 0,
-    ) -> tuple:
+    ) -> Tuple[SecPBEntry, bool]:
         """Apply one store to the buffer.
 
         The caller must have made room (the buffer never evicts on write;

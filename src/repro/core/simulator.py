@@ -29,7 +29,7 @@ same watermarks, no security metadata anywhere.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from ..security.metadata_cache import MetadataCaches
 from ..sim.config import SystemConfig
@@ -164,7 +164,7 @@ class SecurePersistencySimulator:
         warmup_ops = int(len(trace) * warmup_frac)
         warmup_clock = 0.0
         warmup_instructions = 0
-        warmup_stats: dict = {}
+        warmup_stats: Dict[str, float] = {}
         peak_effective_occupancy = 0
         op_index = 0
 
@@ -266,16 +266,19 @@ class SecurePersistencySimulator:
         # plus slots held by in-flight drains, sampled after each
         # allocation.  Never exceeds the configured capacity.
         stats.set("secpb.peak_effective_occupancy", peak_effective_occupancy)
-        result = SimulationResult(
+        # Derived statistics join the snapshot *before* the result is
+        # built — a SimulationResult is an immutable record of the
+        # measured region (secpb-lint SPB302).
+        result_stats = stats.as_dict()
+        result_stats["ppti"] = stats.ppti
+        result_stats["nwpe"] = stats.nwpe
+        return SimulationResult(
             scheme=self.scheme_name,
             benchmark=trace.name,
             cycles=clock - warmup_clock,
             instructions=instructions - warmup_instructions,
-            stats=stats.as_dict(),
+            stats=result_stats,
         )
-        result.stats["ppti"] = stats.ppti
-        result.stats["nwpe"] = stats.nwpe
-        return result
 
 
 def run_scheme(

@@ -1,0 +1,59 @@
+"""secpb-lint: static analysis tailored to the SecPB reproduction.
+
+Four checker families guard the invariants the simulator's correctness —
+and the paper artifacts' reproducibility — actually rest on:
+
+* **determinism** (SPB101-104): nothing inside ``repro.sim`` /
+  ``repro.core`` / ``repro.security`` may consult an RNG, the wall
+  clock, hash-randomized set order, or the environment — any of these
+  silently breaks the runner's byte-identical-parallel guarantee;
+* **scheme invariants** (SPB201-204): every registered scheme's late
+  set must be a suffix of the Fig. 4 dependency chain, early/late must
+  partition the five steps, names must encode the late set, and the
+  Sec. IV-A coalescing classes must be sound;
+* **stats hygiene** (SPB301-303): counters move only through the
+  StatsCollector protocol (add/snapshot/subtract) introduced with the
+  warmup-contamination fix;
+* **pool safety** (SPB401-403): everything submitted through
+  ``repro.analysis.runner`` must be statically picklable.
+
+Use :func:`lint_paths` / :func:`lint_source` programmatically, or the
+``repro lint`` CLI (``python -m repro.lint``).  Rules support per-line
+``# secpb-lint: disable=CODE`` and file-wide
+``# secpb-lint: disable-file=CODE`` suppressions.
+"""
+
+from __future__ import annotations
+
+# Importing the rule modules registers their rules.
+from . import determinism, pool_safety, scheme_invariants, stats_hygiene  # noqa: F401
+from .base import (
+    DETERMINISM_SCOPES,
+    LintContext,
+    Rule,
+    all_rules,
+    lint_file,
+    lint_paths,
+    lint_source,
+    module_name_for_path,
+    select_rules,
+)
+from .cli import main
+from .findings import Finding, Severity, findings_to_json, sort_findings
+
+__all__ = [
+    "DETERMINISM_SCOPES",
+    "Finding",
+    "LintContext",
+    "Rule",
+    "Severity",
+    "all_rules",
+    "findings_to_json",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "main",
+    "module_name_for_path",
+    "select_rules",
+    "sort_findings",
+]

@@ -1,0 +1,111 @@
+"""The secpb-lint command line: ``python -m repro.lint`` / ``repro lint``.
+
+Exit status is 0 when no findings survive selection and suppression,
+1 when any finding is reported, 2 on usage errors — so the command slots
+directly into ``make lint``, CI, and the pre-commit hook.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+# Importing the rule modules populates the registry before any lint run.
+from . import determinism, pool_safety, scheme_invariants, stats_hygiene  # noqa: F401
+from .base import all_rules, lint_paths, select_rules
+from .findings import findings_to_json
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description=(
+            "secpb-lint: determinism, scheme-invariant, stats-hygiene and "
+            "pool-safety checks for the SecPB reproduction"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        metavar="CODE",
+        help="only run these rule codes (repeatable, comma-separable)",
+    )
+    parser.add_argument(
+        "--ignore",
+        action="append",
+        metavar="CODE",
+        help="skip these rule codes (repeatable, comma-separable)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every rule code with its summary and exit",
+    )
+    return parser
+
+
+def _split_codes(values: Optional[Sequence[str]]) -> Optional[List[str]]:
+    if not values:
+        return None
+    codes: List[str] = []
+    for value in values:
+        codes.extend(code.strip() for code in value.split(",") if code.strip())
+    return codes
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """secpb-lint entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.code}  [{rule.severity.value}]  {rule.summary}")
+        return 0
+
+    paths = [Path(p) for p in args.paths]
+    missing = [str(p) for p in paths if not p.exists()]
+    if missing:
+        print(f"repro lint: no such path: {', '.join(missing)}", file=sys.stderr)
+        return 2
+
+    rules = select_rules(
+        select=_split_codes(args.select), ignore=_split_codes(args.ignore)
+    )
+    known = {rule.code for rule in all_rules()}
+    for requested in (_split_codes(args.select) or []) + (
+        _split_codes(args.ignore) or []
+    ):
+        if requested not in known:
+            print(f"repro lint: unknown rule code {requested}", file=sys.stderr)
+            return 2
+
+    findings = lint_paths(paths, rules=rules)
+    if args.format == "json":
+        print(findings_to_json(findings))
+    else:
+        for finding in findings:
+            print(finding.render())
+        if findings:
+            print(f"{len(findings)} finding(s)")
+        else:
+            print("secpb-lint: clean")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,98 @@
+"""Finding and severity types shared by every secpb-lint rule.
+
+A :class:`Finding` is one diagnostic anchored to a file position, carrying
+the rule code (``SPB101`` ...), a severity, and a human-readable message.
+Findings render either as classic ``path:line:col CODE message`` text or
+as JSON (:func:`findings_to_json`) for tooling.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Sequence
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.
+
+    ``ERROR`` findings break an invariant the simulator relies on
+    (determinism, crash consistency, stats correctness); ``WARNING``
+    findings are smells that usually indicate one.
+    """
+
+    WARNING = "warning"
+    ERROR = "error"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic emitted by a lint rule.
+
+    Attributes:
+        code: stable rule identifier (``SPB101`` ... ``SPB403``).
+        severity: :class:`Severity` of the rule.
+        path: file the finding is anchored to.
+        line: 1-based source line.
+        col: 0-based source column.
+        message: human-readable description of the violation.
+    """
+
+    code: str
+    severity: Severity
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def render(self) -> str:
+        """Classic compiler-style one-line rendering."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.code} [{self.severity.value}] {self.message}"
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready representation (stable key set, v1 schema)."""
+        return {
+            "code": self.code,
+            "severity": self.severity.value,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+JSON_SCHEMA_VERSION = 1
+"""Bumped whenever the JSON output shape changes incompatibly."""
+
+
+def findings_to_json(findings: Sequence[Finding]) -> str:
+    """Serialize findings as the v1 JSON report.
+
+    Shape::
+
+        {
+          "version": 1,
+          "findings": [{code, severity, path, line, col, message}, ...],
+          "counts": {"SPB101": 2, ...},
+          "total": 3
+        }
+    """
+    counts: Dict[str, int] = {}
+    for finding in findings:
+        counts[finding.code] = counts.get(finding.code, 0) + 1
+    payload = {
+        "version": JSON_SCHEMA_VERSION,
+        "findings": [f.to_dict() for f in findings],
+        "counts": counts,
+        "total": len(findings),
+    }
+    return json.dumps(payload, indent=2, sort_keys=False)
+
+
+def sort_findings(findings: Sequence[Finding]) -> List[Finding]:
+    """Deterministic report order: path, then line, column, code."""
+    return sorted(findings, key=lambda f: (f.path, f.line, f.col, f.code))

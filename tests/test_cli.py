@@ -92,3 +92,26 @@ class TestExtensionCommands:
         assert main(["workloads", "--num-ops", "2000"]) == 0
         out = capsys.readouterr().out
         assert "gamess" in out and "NWPE" in out
+
+
+class TestLintCommand:
+    def test_lint_src_clean(self, capsys):
+        from repro.cli import main
+
+        assert main(["lint", "src"]) == 0
+        assert "secpb-lint: clean" in capsys.readouterr().out
+
+    def test_lint_list_rules(self, capsys):
+        from repro.cli import main
+
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "SPB101" in out and "SPB403" in out
+
+    def test_lint_select_forwarded(self, capsys, tmp_path):
+        from repro.cli import main
+
+        bad = tmp_path / "bad.py"
+        bad.write_text("jobs = run_jobs((i for i in range(3)))\n")
+        assert main(["lint", str(bad), "--select", "SPB403"]) == 1
+        assert "SPB403" in capsys.readouterr().out

@@ -1,0 +1,502 @@
+"""secpb-lint rule behavior: one trigger fixture per rule code,
+suppression handling, selection, and the JSON report schema."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+import pytest
+
+from repro.lint import lint_source, select_rules
+from repro.lint.base import module_name_for_path, parse_suppressions
+from repro.lint.findings import findings_to_json
+
+SIM_MODULE = "repro.sim.fixture"
+ANALYSIS_MODULE = "repro.analysis.fixture"
+
+
+def lint_sim(source: str, **kwargs):
+    """Lint a snippet as if it lived inside the simulated machine."""
+    return lint_source(textwrap.dedent(source), "fixture.py", module=SIM_MODULE, **kwargs)
+
+
+def codes(findings):
+    return [f.code for f in findings]
+
+
+# --- SPB101: unseeded RNG ------------------------------------------------
+
+
+def test_spb101_global_random_module():
+    findings = lint_sim(
+        """
+        import random
+
+        def jitter():
+            return random.random()
+        """
+    )
+    assert codes(findings) == ["SPB101"]
+
+
+def test_spb101_numpy_legacy_global():
+    findings = lint_sim(
+        """
+        import numpy as np
+
+        def noise(n):
+            return np.random.rand(n)
+        """
+    )
+    assert codes(findings) == ["SPB101"]
+
+
+def test_spb101_unseeded_default_rng():
+    findings = lint_sim(
+        """
+        import numpy as np
+
+        def gen():
+            return np.random.default_rng()
+        """
+    )
+    assert codes(findings) == ["SPB101"]
+
+
+def test_spb101_seeded_default_rng_is_clean():
+    findings = lint_sim(
+        """
+        import numpy as np
+
+        def gen(seed):
+            return np.random.default_rng(seed)
+        """
+    )
+    assert findings == []
+
+
+def test_spb101_from_import_alias():
+    findings = lint_sim(
+        """
+        from random import randint
+
+        def pick():
+            return randint(0, 7)
+        """
+    )
+    assert codes(findings) == ["SPB101"]
+
+
+# --- SPB102: wall-clock reads --------------------------------------------
+
+
+def test_spb102_time_time():
+    findings = lint_sim(
+        """
+        import time
+
+        def stamp():
+            return time.time()
+        """
+    )
+    assert codes(findings) == ["SPB102"]
+
+
+def test_spb102_datetime_now():
+    findings = lint_sim(
+        """
+        from datetime import datetime
+
+        def stamp():
+            return datetime.now()
+        """
+    )
+    assert codes(findings) == ["SPB102"]
+
+
+def test_spb102_out_of_scope_module_is_clean():
+    # perf_counter in analysis code (the runner's progress logging) is fine.
+    findings = lint_source(
+        textwrap.dedent(
+            """
+            import time
+
+            def elapsed():
+                return time.perf_counter()
+            """
+        ),
+        "runner.py",
+        module=ANALYSIS_MODULE,
+    )
+    assert findings == []
+
+
+# --- SPB103: set iteration order -----------------------------------------
+
+
+def test_spb103_for_loop_over_set_literal():
+    findings = lint_sim(
+        """
+        def walk():
+            for x in {"a", "b"}:
+                print(x)
+        """
+    )
+    assert codes(findings) == ["SPB103"]
+
+
+def test_spb103_list_of_set_local():
+    findings = lint_sim(
+        """
+        def order(items):
+            pending = set(items)
+            return list(pending)
+        """
+    )
+    assert codes(findings) == ["SPB103"]
+
+
+def test_spb103_fstring_of_set_expression():
+    findings = lint_sim(
+        """
+        def describe(a, b):
+            missing = set(a) - set(b)
+            return f"missing: {missing}"
+        """
+    )
+    assert codes(findings) == ["SPB103"]
+
+
+def test_spb103_sorted_set_is_clean():
+    findings = lint_sim(
+        """
+        def order(items):
+            pending = set(items)
+            return sorted(pending), len(pending)
+        """
+    )
+    assert findings == []
+
+
+def test_spb103_join_over_set():
+    findings = lint_sim(
+        """
+        def label(parts):
+            tags = {p.strip() for p in parts}
+            return ",".join(tags)
+        """
+    )
+    assert codes(findings) == ["SPB103"]
+
+
+# --- SPB104: environment reads -------------------------------------------
+
+
+def test_spb104_os_environ():
+    findings = lint_sim(
+        """
+        import os
+
+        def workers():
+            return os.environ.get("JOBS", "1")
+        """
+    )
+    assert codes(findings) == ["SPB104"]
+
+
+def test_spb104_os_getenv():
+    findings = lint_sim(
+        """
+        import os
+
+        def workers():
+            return os.getenv("JOBS")
+        """
+    )
+    assert codes(findings) == ["SPB104"]
+
+
+# --- SPB301-303: stats hygiene -------------------------------------------
+
+
+def test_spb301_private_counter_access():
+    findings = lint_sim(
+        """
+        def poke(stats):
+            stats._counters["secpb.writes"] = 0
+        """
+    )
+    assert "SPB301" in codes(findings)
+
+
+def test_spb301_allowed_inside_collector_definition():
+    findings = lint_sim(
+        """
+        class StatsCollector:
+            def add(self, name):
+                self._counters[name] = 1
+        """
+    )
+    assert findings == []
+
+
+def test_spb302_result_stats_assignment():
+    findings = lint_sim(
+        """
+        def fixup(result):
+            result.stats["ppti"] = 0.0
+        """
+    )
+    assert "SPB302" in codes(findings)
+
+
+def test_spb302_result_stats_update_call():
+    findings = lint_sim(
+        """
+        def fixup(result, extra):
+            result.stats.update(extra)
+        """
+    )
+    assert "SPB302" in codes(findings)
+
+
+def test_spb303_snapshot_without_subtract():
+    findings = lint_sim(
+        """
+        def run(stats, trace):
+            boundary = stats.snapshot()
+            return boundary
+        """
+    )
+    assert codes(findings) == ["SPB303"]
+
+
+def test_spb303_snapshot_with_subtract_is_clean():
+    findings = lint_sim(
+        """
+        def run(stats, trace):
+            boundary = stats.snapshot()
+            stats.subtract(boundary)
+        """
+    )
+    assert findings == []
+
+
+def test_spb303_non_stats_snapshot_is_clean():
+    # Snapshots of other structures (e.g. the MAC store) are unrelated.
+    findings = lint_sim(
+        """
+        def recover_all(self):
+            return list(self.macs.snapshot())
+        """
+    )
+    assert findings == []
+
+
+# --- SPB401-403: pool safety ---------------------------------------------
+
+
+def test_spb401_lambda_in_job():
+    findings = lint_sim(
+        """
+        def build():
+            return SimSpec(calibration=lambda: None)
+        """
+    )
+    assert codes(findings) == ["SPB401"]
+
+
+def test_spb402_nested_function_reference():
+    findings = lint_sim(
+        """
+        def sweep(pool, jobs):
+            def levels(page):
+                return 2
+            return pool.submit(levels, jobs)
+        """
+    )
+    assert codes(findings) == ["SPB402"]
+
+
+def test_spb402_nested_function_called_is_clean():
+    findings = lint_sim(
+        """
+        def sweep():
+            def make_spec(cut):
+                return SimSpec(bmf_cut=cut)
+            return [make_spec(2), make_spec(5)]
+        """
+    )
+    assert findings == []
+
+
+def test_spb403_open_handle_in_job():
+    findings = lint_sim(
+        """
+        def build(path):
+            return SimJob(key=("x",), benchmark="a", num_ops=1, seed=1,
+                          warmup_frac=0.0, spec=open(path))
+        """
+    )
+    assert codes(findings) == ["SPB403"]
+
+
+def test_spb403_generator_in_job():
+    findings = lint_sim(
+        """
+        def build(items):
+            return run_jobs((i for i in items), workers=2)
+        """
+    )
+    assert codes(findings) == ["SPB403"]
+
+
+# --- suppressions ---------------------------------------------------------
+
+
+def test_line_suppression_silences_only_that_line():
+    findings = lint_sim(
+        """
+        import time
+
+        def stamp():
+            a = time.time()  # secpb-lint: disable=SPB102
+            b = time.time()
+            return a, b
+        """
+    )
+    assert codes(findings) == ["SPB102"]
+    assert findings[0].line == 6
+
+
+def test_line_suppression_multiple_codes():
+    findings = lint_sim(
+        """
+        import time, os
+
+        def stamp():
+            return time.time(), os.getenv("X")  # secpb-lint: disable=SPB102,SPB104
+        """
+    )
+    assert findings == []
+
+
+def test_file_suppression():
+    findings = lint_sim(
+        """
+        # secpb-lint: disable-file=SPB102
+        import time
+
+        def a():
+            return time.time()
+
+        def b():
+            return time.time()
+        """
+    )
+    assert findings == []
+
+
+def test_suppression_of_other_code_does_not_silence():
+    findings = lint_sim(
+        """
+        import time
+
+        def stamp():
+            return time.time()  # secpb-lint: disable=SPB101
+        """
+    )
+    assert codes(findings) == ["SPB102"]
+
+
+def test_parse_suppressions_shapes():
+    per_line, per_file = parse_suppressions(
+        "x = 1  # secpb-lint: disable=SPB101\n"
+        "# secpb-lint: disable-file=SPB303\n"
+    )
+    assert per_line == {1: {"SPB101"}}
+    assert per_file == {"SPB303"}
+
+
+# --- selection and framework ----------------------------------------------
+
+
+def test_select_rules_filters_by_code():
+    rules = select_rules(select=["SPB101", "SPB102"])
+    assert [r.code for r in rules] == ["SPB101", "SPB102"]
+    rules = select_rules(ignore=["SPB103"])
+    assert "SPB103" not in [r.code for r in rules]
+
+
+def test_selected_rules_limit_findings():
+    source = """
+    import time
+
+    def f():
+        for x in {"a", "b"}:
+            time.time()
+    """
+    all_findings = lint_sim(source)
+    assert set(codes(all_findings)) == {"SPB102", "SPB103"}
+    only_clock = lint_sim(source, rules=select_rules(select=["SPB102"]))
+    assert codes(only_clock) == ["SPB102"]
+
+
+def test_syntax_error_reported_as_spb001():
+    findings = lint_source("def broken(:\n", "broken.py", module=SIM_MODULE)
+    assert codes(findings) == ["SPB001"]
+
+
+def test_module_name_for_path(tmp_path):
+    pkg = tmp_path / "repro" / "sim"
+    pkg.mkdir(parents=True)
+    (tmp_path / "repro" / "__init__.py").write_text("")
+    (pkg / "__init__.py").write_text("")
+    target = pkg / "engine.py"
+    target.write_text("x = 1\n")
+    assert module_name_for_path(target) == "repro.sim.engine"
+    assert module_name_for_path(pkg / "__init__.py") == "repro.sim"
+
+
+# --- JSON output ----------------------------------------------------------
+
+
+def test_json_report_schema():
+    findings = lint_sim(
+        """
+        import time
+
+        def f():
+            return time.time()
+        """
+    )
+    payload = json.loads(findings_to_json(findings))
+    assert payload["version"] == 1
+    assert payload["total"] == 1
+    assert payload["counts"] == {"SPB102": 1}
+    (entry,) = payload["findings"]
+    assert set(entry) == {"code", "severity", "path", "line", "col", "message"}
+    assert entry["code"] == "SPB102"
+    assert entry["severity"] == "error"
+    assert entry["path"] == "fixture.py"
+    assert isinstance(entry["line"], int) and entry["line"] > 0
+
+
+def test_json_report_empty():
+    payload = json.loads(findings_to_json([]))
+    assert payload == {"version": 1, "findings": [], "counts": {}, "total": 0}
+
+
+def test_findings_sorted_deterministically():
+    findings = lint_sim(
+        """
+        import time, os
+
+        def f():
+            b = os.getenv("X")
+            a = time.time()
+            return a, b
+        """
+    )
+    assert [f.line for f in findings] == sorted(f.line for f in findings)

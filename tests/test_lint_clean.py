@@ -1,0 +1,73 @@
+"""Tier-1 gate: the shipped source tree is secpb-lint clean.
+
+This is the CI contract from the linting PR: `repro lint src/` exits 0,
+so every invariant family (determinism, scheme table, stats hygiene,
+pool safety) is machine-checked on every change.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.lint import lint_paths
+from repro.lint.cli import main as lint_main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+
+
+def test_source_tree_is_lint_clean():
+    findings = lint_paths([SRC])
+    assert findings == [], "\n".join(f.render() for f in findings)
+
+
+def test_cli_exits_zero_on_clean_tree(capsys):
+    assert lint_main([str(SRC)]) == 0
+    assert "secpb-lint: clean" in capsys.readouterr().out
+
+
+def test_cli_json_on_clean_tree(capsys):
+    assert lint_main([str(SRC), "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["total"] == 0 and payload["findings"] == []
+
+
+def test_cli_exits_nonzero_on_violation(tmp_path, capsys):
+    bad = tmp_path / "repro_fixture.py"
+    bad.write_text(
+        "def fixup(result):\n    result.stats['ppti'] = 0.0\n"
+    )
+    assert lint_main([str(bad)]) == 1
+    out = capsys.readouterr().out
+    assert "SPB302" in out
+
+
+def test_cli_rejects_missing_path(capsys):
+    assert lint_main([str(REPO_ROOT / "no_such_dir_xyz")]) == 2
+
+
+def test_cli_rejects_unknown_code(capsys):
+    assert lint_main([str(SRC), "--select", "SPB999"]) == 2
+
+
+def test_cli_list_rules(capsys):
+    assert lint_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code in (
+        "SPB101",
+        "SPB102",
+        "SPB103",
+        "SPB104",
+        "SPB201",
+        "SPB202",
+        "SPB203",
+        "SPB204",
+        "SPB301",
+        "SPB302",
+        "SPB303",
+        "SPB401",
+        "SPB402",
+        "SPB403",
+    ):
+        assert code in out
