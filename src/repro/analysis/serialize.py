@@ -46,6 +46,15 @@ def to_jsonable(obj: Any) -> Any:
             for k, v in vars(obj).items()
             if not k.startswith("_")
         }
+    slots = getattr(type(obj), "__slots__", None)
+    if slots is not None:
+        # Hot-path record types (CacheBlock, SecPBEntry, StoreTiming, ...)
+        # use __slots__ and carry no __dict__.
+        return {
+            name: to_jsonable(getattr(obj, name))
+            for name in slots
+            if not name.startswith("_") and hasattr(obj, name)
+        }
     return str(obj)
 
 

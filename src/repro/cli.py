@@ -11,6 +11,8 @@ Commands:
 * ``multicore`` — multi-core scaling of one scheme with sharing traffic.
 * ``recover-demo`` — the quickstart crash-recovery walkthrough.
 * ``workloads`` — characterize the 18 profiles (PPTI / NWPE / IPC).
+* ``profile`` — cProfile one simulation and report host-time cost per
+  component plus the timing model's simulated-cycle breakdown.
 * ``lint`` — run secpb-lint (determinism / scheme-invariant /
   stats-hygiene / pool-safety static analysis) over the source tree.
 * ``list`` — available benchmarks, schemes and experiments.
@@ -160,6 +162,21 @@ def _cmd_workloads(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from .analysis.profiling import profile_simulation
+
+    scheme = None if args.scheme == "bbb" else get_scheme(args.scheme)
+    report = profile_simulation(
+        benchmark=args.benchmark,
+        scheme=scheme,
+        num_ops=args.num_ops,
+        seed=args.seed,
+        top=args.top,
+    )
+    print(report.render())
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from .lint.cli import main as lint_main
 
@@ -263,6 +280,22 @@ def build_parser() -> argparse.ArgumentParser:
     workloads.add_argument("--num-ops", type=int, default=20_000)
     workloads.add_argument("--seed", type=int, default=1)
     workloads.set_defaults(func=_cmd_workloads)
+
+    profile = sub.add_parser(
+        "profile",
+        help="cProfile one simulation: host time per component + "
+        "simulated-cycle breakdown",
+    )
+    profile.add_argument("--benchmark", default="gamess", choices=all_benchmarks())
+    profile.add_argument(
+        "--scheme", default="cobcm", choices=["bbb"] + SPECTRUM_ORDER
+    )
+    profile.add_argument("--num-ops", type=int, default=40_000)
+    profile.add_argument("--seed", type=int, default=1)
+    profile.add_argument(
+        "--top", type=int, default=12, help="hottest functions to list"
+    )
+    profile.set_defaults(func=_cmd_profile)
 
     lint = sub.add_parser(
         "lint",

@@ -83,13 +83,31 @@ class TimingCalibration:
     (Sec. VI-B: 'the SecPB access latency being incurred twice')."""
 
 
-@dataclass
 class StoreTiming:
-    """Latency decomposition of one store's SecPB acceptance."""
+    """Latency decomposition of one store's SecPB acceptance.
 
-    unblock_cycles: float
-    bmt_wait_cycles: float = 0.0
-    counter_miss: bool = False
+    A ``__slots__`` class (not a dataclass): one is allocated per priced
+    store on the simulator's hot path.
+    """
+
+    __slots__ = ("unblock_cycles", "bmt_wait_cycles", "counter_miss")
+
+    def __init__(
+        self,
+        unblock_cycles: float,
+        bmt_wait_cycles: float = 0.0,
+        counter_miss: bool = False,
+    ):
+        self.unblock_cycles = unblock_cycles
+        self.bmt_wait_cycles = bmt_wait_cycles
+        self.counter_miss = counter_miss
+
+    def __repr__(self) -> str:
+        return (
+            f"StoreTiming(unblock_cycles={self.unblock_cycles!r}, "
+            f"bmt_wait_cycles={self.bmt_wait_cycles!r}, "
+            f"counter_miss={self.counter_miss!r})"
+        )
 
 
 class SecPBController:
@@ -141,6 +159,65 @@ class SecPBController:
         self._aes_cycles = config.security.aes_latency_cycles
         self._secpb_access = config.secpb.access_cycles
 
+        # Hot-path precomputation: the scheme and calibration are fixed
+        # for the controller's lifetime, so resolve the early/late step
+        # split into booleans and fold every scheme-constant latency term
+        # once here instead of re-deriving them on every priced store.
+        # The dynamic parts — counter-cache accesses (stateful), engine
+        # requests and per-event counters — remain per-call, so every
+        # priced value is bit-identical to the unoptimized computation.
+        cal = self.calibration
+        self._early_counter = scheme.is_early(MetadataStep.COUNTER)
+        self._early_otp = scheme.is_early(MetadataStep.OTP)
+        self._early_bmt = scheme.is_early(MetadataStep.BMT_ROOT)
+        self._early_ciphertext = scheme.is_early(MetadataStep.CIPHERTEXT)
+        self._early_mac = scheme.is_early(MetadataStep.MAC)
+        self._counter_increment = cal.counter_increment_cycles
+        self._xor_cycles = cal.xor_cycles
+        self._mac_initiation = cal.mac_pipeline_initiation_cycles
+        self._double_access = cal.secpb_double_access_cycles
+        self._mc_hash_initiation = cal.mc_hash_initiation_cycles
+        self._ctr_hit_cycles = self.mdc.config.counter_cache.access_cycles
+        self._access_counter = self.mdc.access_counter
+        # BMT update service is constant unless a Merkle-forest hook
+        # supplies per-page heights (the Fig. 9 BMF study).
+        self._bmt_service_const = (
+            None
+            if bmt_levels_fn is not None
+            else config.security.bmt_levels * self._hash_cycles
+        )
+        # Drain service: the block transfer plus every scheme-constant
+        # late-step initiation cost, pre-summed (integer cycle counts, so
+        # the fold is exact).  Only a dynamic BMT height stays per-call.
+        drain_const = float(cal.drain_transfer_cycles)
+        if not self._early_counter:
+            drain_const += cal.mc_counter_fetch_cycles
+            drain_const += cal.counter_increment_cycles
+        if not self._early_otp:
+            drain_const += cal.mc_aes_initiation_cycles
+        if not self._early_bmt and bmt_levels_fn is None:
+            drain_const += config.security.bmt_levels * cal.mc_hash_initiation_cycles
+        if not self._early_ciphertext:
+            drain_const += cal.xor_cycles
+        if not self._early_mac:
+            drain_const += cal.mc_hash_initiation_cycles
+        self._drain_const = drain_const
+        self._drain_bmt_dynamic = not self._early_bmt and bmt_levels_fn is not None
+        self._count_bmt_update = self.stats.counter("bmt.root_updates")
+        self._count_mac_generation = self.stats.counter("mac.generations")
+        self._add_new_entry_cycles = self.stats.counter("secpb.new_entry_cycles")
+        self._add_coalesced_cycles = self.stats.counter("secpb.coalesced_cycles")
+        # Fully lazy schemes (COBCM) run no early step at all: every
+        # priced store degenerates to "latency 0, count it" — worth a
+        # dedicated early-out on the acceptance path.
+        self._no_early_steps = not (
+            self._early_counter
+            or self._early_otp
+            or self._early_bmt
+            or self._early_ciphertext
+            or self._early_mac
+        )
+
     # Eager path ---------------------------------------------------------
 
     def _bmt_levels(self, page_index: int) -> int:
@@ -159,53 +236,58 @@ class SecPBController:
         stream into the buffer); only the *metadata* work occupies the
         acceptance path and delays the unblocking signal.
         """
-        cal = self.calibration
-        scheme = self.scheme
+        if self._no_early_steps:
+            self._add_new_entry_cycles(0.0)
+            return StoreTiming(0.0)
+        # Field letters ("C", "O", "B", "Dc", "M") follow the Fig. 5 field
+        # table (see repro.core.secpb._FIELD_FOR_STEP).
         latency = 0.0
         counter_miss = False
         bmt_wait = 0.0
+        valid = entry.valid
 
         counter_ready = latency
-        if scheme.is_early(MetadataStep.COUNTER):
-            ctr_latency = self.mdc.access_counter(block_addr // 64)
-            counter_miss = ctr_latency > self.mdc.config.counter_cache.access_cycles
-            counter_ready = latency + ctr_latency + cal.counter_increment_cycles
+        if self._early_counter:
+            ctr_latency = self._access_counter(block_addr // 64)
+            counter_miss = ctr_latency > self._ctr_hit_cycles
+            counter_ready = latency + ctr_latency + self._counter_increment
             latency = counter_ready
-            entry.mark(MetadataStep.COUNTER)
-            if not scheme.is_early(MetadataStep.OTP):
+            valid["C"] = True
+            if not self._early_otp:
                 # OBCM: counter is the only early step, and unblocking the
                 # L1D requires a second SecPB access to check its valid bit.
-                latency += cal.secpb_double_access_cycles
+                latency += self._double_access
 
         otp_done = counter_ready
-        if scheme.is_early(MetadataStep.OTP):
+        if self._early_otp:
             otp_done = counter_ready + self._aes_cycles
-            entry.mark(MetadataStep.OTP)
+            valid["O"] = True
 
         bmt_done = counter_ready
-        if scheme.is_early(MetadataStep.BMT_ROOT):
-            levels = self._bmt_levels(block_addr // 64)
-            service = levels * self._hash_cycles
+        if self._early_bmt:
+            service = self._bmt_service_const
+            if service is None:
+                service = self._bmt_levels_fn(block_addr // 64) * self._hash_cycles
             wait, completion = self.bmt_engine.request(now + counter_ready, service)
             bmt_wait = wait
-            bmt_done = (completion - now)
-            entry.mark(MetadataStep.BMT_ROOT)
-            self.stats.add("bmt.root_updates")
+            bmt_done = completion - now
+            valid["B"] = True
+            self._count_bmt_update()
 
         # OTP and BMT proceed in parallel; both gate the value-dependent tail.
         latency = max(latency, otp_done, bmt_done)
 
-        if scheme.is_early(MetadataStep.CIPHERTEXT):
-            latency += cal.xor_cycles
-            entry.mark(MetadataStep.CIPHERTEXT)
+        if self._early_ciphertext:
+            latency += self._xor_cycles
+            valid["Dc"] = True
 
-        if scheme.is_early(MetadataStep.MAC):
+        if self._early_mac:
             wait, completion = self.mac_engine.request(now + latency, self._hash_cycles)
             latency = completion - now
-            entry.mark(MetadataStep.MAC)
-            self.stats.add("mac.generations")
+            valid["M"] = True
+            self._count_mac_generation()
 
-        self.stats.add("secpb.new_entry_cycles", latency)
+        self._add_new_entry_cycles(latency)
         return StoreTiming(latency, bmt_wait, counter_miss)
 
     def price_coalesced_store(self, now: float, entry: SecPBEntry) -> StoreTiming:
@@ -218,39 +300,41 @@ class SecPBController:
         With the coalescing optimization disabled (ablation), the
         value-independent steps re-run on every store as well.
         """
-        cal = self.calibration
+        if self._no_early_steps:
+            self._add_coalesced_cycles(0.0)
+            return StoreTiming(0.0)
         latency = 0.0
         if not self.value_independent_coalescing:
-            scheme = self.scheme
             counter_ready = 0.0
-            if scheme.is_early(MetadataStep.COUNTER):
-                ctr_latency = self.mdc.access_counter(entry.block_addr // 64)
-                counter_ready = ctr_latency + cal.counter_increment_cycles
+            if self._early_counter:
+                ctr_latency = self._access_counter(entry.block_addr // 64)
+                counter_ready = ctr_latency + self._counter_increment
             otp_done = counter_ready
-            if scheme.is_early(MetadataStep.OTP):
+            if self._early_otp:
                 otp_done = counter_ready + self._aes_cycles
             bmt_done = counter_ready
-            if scheme.is_early(MetadataStep.BMT_ROOT):
-                levels = self._bmt_levels(entry.block_addr // 64)
-                _, completion = self.bmt_engine.request(
-                    now + counter_ready, levels * self._hash_cycles
-                )
+            if self._early_bmt:
+                service = self._bmt_service_const
+                if service is None:
+                    service = self._bmt_levels_fn(entry.block_addr // 64) * self._hash_cycles
+                _, completion = self.bmt_engine.request(now + counter_ready, service)
                 bmt_done = completion - now
-                self.stats.add("bmt.root_updates")
+                self._count_bmt_update()
             latency = max(counter_ready, otp_done, bmt_done)
-        if self.scheme.is_early(MetadataStep.CIPHERTEXT):
-            latency += cal.xor_cycles
-            entry.mark(MetadataStep.CIPHERTEXT)
-        if self.scheme.is_early(MetadataStep.MAC):
+        valid = entry.valid
+        if self._early_ciphertext:
+            latency += self._xor_cycles
+            valid["Dc"] = True
+        if self._early_mac:
             # Pipelined: occupy the engine for one initiation interval; the
             # remaining MAC latency overlaps with younger stores.
             wait, completion = self.mac_engine.request(
-                now + latency, cal.mac_pipeline_initiation_cycles
+                now + latency, self._mac_initiation
             )
             latency = completion - now
-            entry.mark(MetadataStep.MAC)
-            self.stats.add("mac.generations")
-        self.stats.add("secpb.coalesced_cycles", latency)
+            valid["M"] = True
+            self._count_mac_generation()
+        self._add_coalesced_cycles(latency)
         return StoreTiming(latency)
 
     # Drain path -----------------------------------------------------------
@@ -263,25 +347,18 @@ class SecPBController:
         latencies, since drains have no ordering constraint — the observer
         only sees post-drain state, Sec. III-B).
         """
-        cal = self.calibration
-        scheme = self.scheme
-        service = float(cal.drain_transfer_cycles)
-        if not scheme.is_early(MetadataStep.COUNTER):
+        service = self._drain_const
+        if not self._early_counter:
             # Track cache contents (for stats) but charge the pipelined
-            # fetch cost: drains have no ordering constraint, so misses
-            # overlap with other drain work.
-            self.mdc.access_counter(block_addr // 64)
-            service += cal.mc_counter_fetch_cycles
-            service += cal.counter_increment_cycles
-        if not scheme.is_early(MetadataStep.OTP):
-            service += cal.mc_aes_initiation_cycles
-        if not scheme.is_early(MetadataStep.BMT_ROOT):
-            levels = self._bmt_levels(block_addr // 64)
-            service += levels * cal.mc_hash_initiation_cycles
-            self.stats.add("bmt.root_updates")
-        if not scheme.is_early(MetadataStep.CIPHERTEXT):
-            service += cal.xor_cycles
-        if not scheme.is_early(MetadataStep.MAC):
-            service += cal.mc_hash_initiation_cycles
-            self.stats.add("mac.generations")
+            # fetch cost (already folded into the constant): drains have
+            # no ordering constraint, so misses overlap with other work.
+            self._access_counter(block_addr // 64)
+        if not self._early_bmt:
+            if self._drain_bmt_dynamic:
+                service += (
+                    self._bmt_levels_fn(block_addr // 64) * self._mc_hash_initiation
+                )
+            self._count_bmt_update()
+        if not self._early_mac:
+            self._count_mac_generation()
         return service

@@ -27,7 +27,6 @@ This module is purely structural/functional — latencies live in
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from ..sim.config import SecPBConfig
@@ -49,22 +48,42 @@ def fields_for_scheme(scheme: Scheme) -> FrozenSet[str]:
     return frozenset(_FIELD_FOR_STEP[step] for step in scheme.early_steps)
 
 
-@dataclass
 class SecPBEntry:
     """One SecPB table entry.
 
     ``valid`` tracks the per-field valid bits; only fields the scheme
     keeps ever become valid.  ``writes`` counts coalesced stores for the
     NWPE statistic; ``asid`` supports the drain-process crash policy.
+
+    A ``__slots__`` class: one entry is allocated per SecPB residency on
+    the simulator's hot store path, and the controller touches ``valid``
+    and ``writes`` on every priced store.
     """
 
-    block_addr: int
-    asid: int = 0
-    writes: int = 0
-    plaintext: Optional[bytes] = None
-    valid: Dict[str, bool] = field(
-        default_factory=lambda: {"O": False, "Dc": False, "C": False, "B": False, "M": False}
-    )
+    __slots__ = ("block_addr", "asid", "writes", "plaintext", "valid")
+
+    def __init__(
+        self,
+        block_addr: int,
+        asid: int = 0,
+        writes: int = 0,
+        plaintext: Optional[bytes] = None,
+        valid: Optional[Dict[str, bool]] = None,
+    ):
+        self.block_addr = block_addr
+        self.asid = asid
+        self.writes = writes
+        self.plaintext = plaintext
+        if valid is None:
+            valid = {"O": False, "Dc": False, "C": False, "B": False, "M": False}
+        self.valid = valid
+
+    def __repr__(self) -> str:
+        return (
+            f"SecPBEntry(block_addr={self.block_addr!r}, asid={self.asid!r}, "
+            f"writes={self.writes!r}, plaintext={self.plaintext!r}, "
+            f"valid={self.valid!r})"
+        )
 
     def metadata_complete(self, scheme: Scheme) -> bool:
         """True when every field the scheme tracks eagerly is valid."""
@@ -83,14 +102,29 @@ class SecPBEntry:
         return self.valid[_FIELD_FOR_STEP[step]]
 
 
-@dataclass
 class DrainedEntry:
     """An entry leaving the SecPB toward the memory controller."""
 
-    block_addr: int
-    writes: int
-    plaintext: Optional[bytes]
-    metadata_was_complete: bool
+    __slots__ = ("block_addr", "writes", "plaintext", "metadata_was_complete")
+
+    def __init__(
+        self,
+        block_addr: int,
+        writes: int,
+        plaintext: Optional[bytes],
+        metadata_was_complete: bool,
+    ):
+        self.block_addr = block_addr
+        self.writes = writes
+        self.plaintext = plaintext
+        self.metadata_was_complete = metadata_was_complete
+
+    def __repr__(self) -> str:
+        return (
+            f"DrainedEntry(block_addr={self.block_addr!r}, writes={self.writes!r}, "
+            f"plaintext={self.plaintext!r}, "
+            f"metadata_was_complete={self.metadata_was_complete!r})"
+        )
 
 
 class SecPB:
@@ -106,6 +140,18 @@ class SecPB:
         self.scheme = scheme
         self.stats = stats if stats is not None else StatsCollector()
         self._entries: "OrderedDict[int, SecPBEntry]" = OrderedDict()
+        # Hot-path constants, resolved once: buffer geometry and the
+        # scheme's eagerly kept fields (for drain-time completeness
+        # checks without per-drain enum lookups).
+        self._capacity = config.entries
+        self._low_watermark_entries = config.low_watermark_entries
+        self._high_watermark_entries = config.high_watermark_entries
+        self._required_fields = tuple(
+            _FIELD_FOR_STEP[step] for step in scheme.early_steps
+        )
+        self._count_write = self.stats.counter("secpb.writes")
+        self._count_allocation = self.stats.counter("secpb.allocations")
+        self._count_drain = self.stats.counter("secpb.drains")
 
     # Queries -------------------------------------------------------------
 
@@ -150,33 +196,81 @@ class SecPB:
                 models the "backflow" stall, which the controller handles
                 by draining before retrying).
         """
-        self.stats.add("secpb.writes")
-        entry = self._entries.get(block_addr)
+        self._count_write()
+        entries = self._entries
+        entry = entries.get(block_addr)
         if entry is not None:
             entry.writes += 1
             if plaintext is not None:
                 entry.plaintext = plaintext
             # Data-value-dependent metadata is stale after any store.
-            entry.invalidate_value_dependent()
+            valid = entry.valid
+            valid["Dc"] = False
+            valid["M"] = False
             return entry, False
 
-        if self.full:
+        if len(entries) >= self._capacity:
             raise RuntimeError(
                 "SecPB full: drain before allocating "
                 f"(occupancy {self.occupancy}/{self.config.entries})"
             )
         entry = SecPBEntry(block_addr=block_addr, asid=asid, writes=1, plaintext=plaintext)
-        self._entries[block_addr] = entry
-        self.stats.add("secpb.allocations")
+        entries[block_addr] = entry
+        self._count_allocation()
         return entry, True
+
+    # Hot-path variants -----------------------------------------------------
+    #
+    # The single-core simulator calls these on its per-store path.  They
+    # split :meth:`write` at the lookup the caller already performed (the
+    # backflow check needs the hit/miss answer *before* the write) and
+    # drop the metadata-only conveniences (plaintext, ASID) the timing
+    # path never uses.  Counter effects are identical to write()/
+    # drain_oldest().
+
+    def coalesce(self, entry: SecPBEntry) -> None:
+        """Apply a store to an entry the caller just looked up."""
+        self._count_write()
+        entry.writes += 1
+        valid = entry.valid
+        valid["Dc"] = False
+        valid["M"] = False
+
+    def allocate(self, block_addr: int) -> SecPBEntry:
+        """Allocate a fresh entry; the caller has verified there is room."""
+        self._count_write()
+        entries = self._entries
+        if len(entries) >= self._capacity:
+            raise RuntimeError(
+                "SecPB full: drain before allocating "
+                f"(occupancy {self.occupancy}/{self.config.entries})"
+            )
+        entry = SecPBEntry(block_addr, 0, 1, None)
+        entries[block_addr] = entry
+        self._count_allocation()
+        return entry
+
+    def drain_oldest_addr(self) -> int:
+        """Pop the oldest entry, returning only its block address.
+
+        The timing path prices a drain by address alone; skipping the
+        :class:`DrainedEntry` construction and the completeness check
+        (both side-effect-free) keeps the watermark drain cheap.
+        """
+        if not self._entries:
+            raise RuntimeError("cannot drain an empty SecPB")
+        _, entry = self._entries.popitem(last=False)
+        self._count_drain()
+        return entry.block_addr
 
     # Drain path ----------------------------------------------------------
 
     def drain_targets(self) -> int:
         """Entries to drain now to get from high back to low watermark."""
-        if not self.above_high_watermark:
+        occupancy = len(self._entries)
+        if occupancy < self._high_watermark_entries:
             return 0
-        return self.occupancy - self.config.low_watermark_entries
+        return occupancy - self._low_watermark_entries
 
     def drain_oldest(self) -> DrainedEntry:
         """Remove and return the oldest entry (FIFO drain order).
@@ -187,12 +281,13 @@ class SecPB:
         if not self._entries:
             raise RuntimeError("cannot drain an empty SecPB")
         _, entry = self._entries.popitem(last=False)
-        self.stats.add("secpb.drains")
+        self._count_drain()
+        valid = entry.valid
         return DrainedEntry(
             block_addr=entry.block_addr,
             writes=entry.writes,
             plaintext=entry.plaintext,
-            metadata_was_complete=entry.metadata_complete(self.scheme),
+            metadata_was_complete=all(valid[f] for f in self._required_fields),
         )
 
     def drain_all(self) -> List[DrainedEntry]:

@@ -29,11 +29,12 @@ same watermarks, no security metadata anywhere.
 
 from __future__ import annotations
 
+from heapq import heappop, heappush
 from typing import Callable, Dict, List, Optional
 
 from ..security.metadata_cache import MetadataCaches
 from ..sim.config import SystemConfig
-from ..sim.engine import BoundedPipeline, BusyResource
+from ..sim.engine import BoundedPipeline
 from ..sim.hierarchy import MemoryHierarchy
 from ..sim.stats import SimulationResult, StatsCollector
 from ..workloads.trace import Trace
@@ -115,8 +116,13 @@ class SecurePersistencySimulator:
         clock = 0.0
         instructions = 0
         store_buffer = BoundedPipeline("store-buffer", config.store_buffer_entries)
-        drain_engine = BusyResource("drain-engine")
         accept_free_at = 0.0  # SecPB acceptance serialization point
+        # In-flight drain completion times, kept as a min-heap: the seed's
+        # per-check list filter ("drop every t <= now") becomes "pop while
+        # the heap root is <= now", and min(pending) becomes the root.
+        # Both views describe the same multiset, so the backflow/forced
+        # drain accounting is unchanged (pinned by
+        # tests/test_drain_accounting.py against seed-captured values).
         drain_completions: List[float] = []
         capacity = config.secpb.entries
 
@@ -136,29 +142,40 @@ class SecurePersistencySimulator:
             verify_load_cycles = 0
         memory_fill_cycles = config.memory_round_trip_cycles
 
-        def effective_occupancy(now: float) -> int:
-            """Structure occupancy plus slots still held by in-flight drains."""
-            if drain_completions:
-                # Prune finished drains (kept sorted enough by appending).
-                alive = [t for t in drain_completions if t > now]
-                if len(alive) != len(drain_completions):
-                    drain_completions[:] = alive
-            return secpb.occupancy + len(drain_completions)
+        # Hot-loop bindings: the per-op path resolves these names once per
+        # run instead of chasing attributes per op.  ``secpb_entries`` is
+        # the buffer's backing table — its length IS secpb.occupancy.
+        secpb_entries = secpb._entries
+        count_drain_service = stats.counter("drain.services")
+        count_forced_drain = stats.counter("secpb.forced_drains")
+        count_backflow_stall = stats.counter("secpb.backflow_stalls")
+        add_backflow_cycles = stats.counter("secpb.backflow_cycles")
+        count_load_verification = stats.counter("verify.load_verifications")
+        drain_oldest_addr = secpb.drain_oldest_addr
+        drain_targets = secpb.drain_targets
+        price_drain = controller.price_drain if controller is not None else None
+        high_watermark_entries = config.secpb.high_watermark_entries
+        # The drain engine is a single-server FIFO (BusyResource), inlined
+        # into the closure below: drains serialize on one free_at point.
+        drain_free_at = 0.0
 
         def drain_one(now: float) -> None:
             """Drain the oldest entry; its slot frees at MC completion."""
-            drained = secpb.drain_oldest()
-            if controller is not None:
-                service = controller.price_drain(drained.block_addr)
+            nonlocal drain_free_at
+            addr = drain_oldest_addr()
+            if price_drain is not None:
+                service = price_drain(addr)
             else:
                 service = drain_transfer
-            _, completion = drain_engine.request(now, service)
-            drain_completions.append(completion)
-            stats.add("drain.services")
+            start = drain_free_at if drain_free_at > now else now
+            completion = start + service
+            drain_free_at = completion
+            heappush(drain_completions, completion)
+            count_drain_service()
 
         def start_drains(now: float) -> None:
             """Watermark policy: drain oldest entries down to the low mark."""
-            for _ in range(secpb.drain_targets()):
+            for _ in range(drain_targets()):
                 drain_one(now)
 
         warmup_ops = int(len(trace) * warmup_frac)
@@ -167,6 +184,17 @@ class SecurePersistencySimulator:
         warmup_stats: Dict[str, float] = {}
         peak_effective_occupancy = 0
         op_index = 0
+
+        # More hot-loop bindings (method lookups hoisted out of the loop).
+        load_latency = hierarchy.load_latency
+        store_access = hierarchy.store_access
+        secpb_entries_get = secpb_entries.get
+        secpb_coalesce = secpb.coalesce
+        secpb_allocate = secpb.allocate
+        push_store = store_buffer.push
+        mdc_access_counter = mdc.access_counter if secure else None
+        price_new_entry = controller.price_new_entry if secure else None
+        price_coalesced = controller.price_coalesced_store if secure else None
 
         for is_store, block_addr, gap in trace.iter_ops():
             if op_index == warmup_ops and warmup_ops:
@@ -180,15 +208,15 @@ class SecurePersistencySimulator:
             byte_addr = block_addr << 6
 
             if not is_store:
-                latency = hierarchy.load_latency(byte_addr)
+                latency = load_latency(byte_addr)
                 if latency >= memory_fill_cycles and verify_load_cycles:
                     # Non-speculative integrity verification (ablation of
                     # the Table I assumption): data fetched from PM cannot
                     # be used until its counter is fetched, the OTP is
                     # regenerated and the MAC checked.
-                    latency += mdc.access_counter(block_addr // 64)
+                    latency += mdc_access_counter(block_addr // 64)
                     latency += verify_load_cycles
-                    stats.add("verify.load_verifications")
+                    count_load_verification()
                 if latency <= l1_hit_cycles:
                     clock += latency
                 else:
@@ -196,20 +224,25 @@ class SecurePersistencySimulator:
                 continue
 
             # Store path: L1D and SecPB accessed in parallel (Sec. IV-B).
-            hierarchy.store_access(byte_addr, persist_region=True)
+            store_access(byte_addr, True)
 
-            entry = secpb.lookup(block_addr)
-            newly_allocated = entry is None
-
-            if newly_allocated:
+            entry = secpb_entries_get(block_addr)
+            if entry is None:
                 # Backflow: a physical slot frees only when its drain
                 # completes at the MC; a full buffer stalls the allocation
                 # (the COBCM-class overhead of Sec. VI-A).
-                while effective_occupancy(clock) >= capacity:
+                while True:
+                    # Retire finished drains, then test effective occupancy
+                    # (structural entries + slots held by in-flight drains).
+                    while drain_completions and drain_completions[0] <= clock:
+                        heappop(drain_completions)
+                    if len(secpb_entries) + len(drain_completions) < capacity:
+                        break
                     start_drains(clock)
-                    pending = [t for t in drain_completions if t > clock]
-                    if not pending:
-                        if secpb.occupancy == 0:
+                    while drain_completions and drain_completions[0] <= clock:
+                        heappop(drain_completions)
+                    if not drain_completions:
+                        if not secpb_entries:
                             break  # every slot already freed by instant drains
                         # The watermark policy can yield zero targets while
                         # occupied slots block the allocation (e.g. in-flight
@@ -217,38 +250,43 @@ class SecurePersistencySimulator:
                         # 1-entry buffer).  Force one drain so the loop makes
                         # progress and the buffer can never be over-committed.
                         drain_one(clock)
-                        stats.add("secpb.forced_drains")
+                        count_forced_drain()
                         continue
-                    release = min(pending)
-                    stats.add("secpb.backflow_stalls")
-                    stats.add("secpb.backflow_cycles", release - clock)
+                    release = drain_completions[0]
+                    count_backflow_stall()
+                    add_backflow_cycles(release - clock)
                     clock = release
 
-            entry, allocated = secpb.write(block_addr)
-            if allocated:
-                occupancy_now = effective_occupancy(clock)
+                entry = secpb_allocate(block_addr)
+                allocated = True
+                while drain_completions and drain_completions[0] <= clock:
+                    heappop(drain_completions)
+                occupancy_now = len(secpb_entries) + len(drain_completions)
                 if occupancy_now > peak_effective_occupancy:
                     peak_effective_occupancy = occupancy_now
-
-            accept_start = max(clock, accept_free_at)
-            if controller is not None:
-                if allocated:
-                    timing = controller.price_new_entry(accept_start, block_addr, entry)
-                else:
-                    timing = controller.price_coalesced_store(accept_start, entry)
-                service = timing.unblock_cycles
             else:
-                # Insecure BBB: the pipelined buffer write has no
-                # metadata work, so acceptance never serializes.
-                service = 0.0
-            completion = accept_start + service
+                secpb_coalesce(entry)
+                allocated = False
+
+            accept_start = clock if clock > accept_free_at else accept_free_at
+            if secure:
+                if allocated:
+                    timing = price_new_entry(accept_start, block_addr, entry)
+                else:
+                    timing = price_coalesced(accept_start, entry)
+                completion = accept_start + timing.unblock_cycles
+            else:
+                # Insecure BBB fast path: the pipelined buffer write has
+                # no metadata work, so acceptance never serializes and
+                # the store completes the moment it is accepted.
+                completion = accept_start
             accept_free_at = completion
 
             # The core stalls only when the store buffer is full.
-            stall = store_buffer.push(clock, completion)
+            stall = push_store(clock, completion)
             clock += stall + 1.0  # one issue slot per store
 
-            if secpb.above_high_watermark:
+            if len(secpb_entries) >= high_watermark_entries:
                 start_drains(clock)
 
         # Account the final drain tail: execution "ends" when the core is

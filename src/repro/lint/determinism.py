@@ -1,4 +1,4 @@
-"""Determinism lint (SPB101-SPB104).
+"""Determinism lint (SPB101-SPB105).
 
 PR 1 made every paper artifact depend on a hard guarantee: a parallel
 ``run_jobs`` sweep must be **byte-identical** to the serial one.  The
@@ -17,9 +17,14 @@ SPB103    set-iteration-order dependence — CPython string hashes are
 SPB104    ``os.environ`` / ``os.getenv`` reads — worker environments
           are not part of a job's key, so results would not be
           reproducible from the job description alone
+SPB105    counter names built per access — an f-string / concatenated /
+          formatted name argument to ``stats.add`` / ``stats.set`` /
+          ``stats.counter`` outside ``__init__`` allocates a fresh
+          string on the hot path; build the name once at construction
+          time and bind a ``stats.counter(name)`` closure instead
 ========  ==========================================================
 
-All four rules are scoped to :data:`~.base.DETERMINISM_SCOPES`; analysis
+All five rules are scoped to :data:`~.base.DETERMINISM_SCOPES`; analysis
 and CLI code (progress timing, ``--jobs`` defaults) may use these APIs
 freely.
 """
@@ -405,3 +410,118 @@ class EnvironReadRule(_DeterminismRule):
                         "os.getenv call: environment state must not "
                         "influence simulation results",
                     )
+
+
+_COUNTER_SINK_METHODS = {"add", "set", "counter"}
+
+
+def _stats_receiver(node: ast.AST) -> bool:
+    """Heuristic: does ``node`` name a StatsCollector?
+
+    Matches the naming convention the simulated machine uses everywhere:
+    a bare ``stats`` local/parameter or a ``*.stats`` / ``*._stats``
+    attribute (``self.stats.add(...)``).
+    """
+    if isinstance(node, ast.Name):
+        return node.id in ("stats", "_stats") or node.id.endswith("_stats")
+    if isinstance(node, ast.Attribute):
+        return node.attr in ("stats", "_stats") or node.attr.endswith("_stats")
+    return False
+
+
+@register_rule
+class DynamicCounterNameRule(_DeterminismRule):
+    code = "SPB105"
+    summary = (
+        "counter name built per access (f-string/concat/format) — "
+        "construct names once in __init__ and bind a stats.counter "
+        "closure for the hot path"
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        # Enclosing-function chain for every node, so calls inside
+        # __init__ (including closures defined there) are exempt: name
+        # construction at build time is exactly the recommended fix.
+        parents: Dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(ctx.tree):
+            for child in ast.iter_child_nodes(parent):
+                parents[child] = parent
+
+        def in_init(node: ast.AST) -> bool:
+            current = parents.get(node)
+            while current is not None:
+                if (
+                    isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and current.name == "__init__"
+                ):
+                    return True
+                current = parents.get(current)
+            return False
+
+        def in_function(node: ast.AST) -> bool:
+            current = parents.get(node)
+            while current is not None:
+                if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    return True
+                current = parents.get(current)
+            return False
+
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (
+                isinstance(func, ast.Attribute)
+                and func.attr in _COUNTER_SINK_METHODS
+                and _stats_receiver(func.value)
+            ):
+                continue
+            name_arg = self._name_argument(node)
+            if name_arg is None or not self._dynamic_string(name_arg):
+                continue
+            # Names built once — at module/class level or anywhere under
+            # __init__ — are the sanctioned pattern, not a hot-path cost.
+            if not in_function(node) or in_init(node):
+                continue
+            yield ctx.finding(
+                self,
+                name_arg,
+                f"stats.{func.attr} name is constructed per call; every "
+                "access allocates and hashes a fresh string.  Build the "
+                "name once in __init__ and keep a bound "
+                "stats.counter(name) closure for the per-access path",
+            )
+
+    @staticmethod
+    def _name_argument(call: ast.Call) -> Optional[ast.AST]:
+        if call.args:
+            return call.args[0]
+        for keyword in call.keywords:
+            if keyword.arg == "name":
+                return keyword.value
+        return None
+
+    @classmethod
+    def _dynamic_string(cls, node: ast.AST) -> bool:
+        if isinstance(node, ast.JoinedStr):
+            # f"literal" with no substitutions is just a constant.
+            return any(
+                isinstance(value, ast.FormattedValue) for value in node.values
+            )
+        if isinstance(node, ast.BinOp):
+            if isinstance(node.op, ast.Mod):
+                return cls._stringy(node.left)
+            if isinstance(node.op, ast.Add):
+                return cls._stringy(node.left) or cls._stringy(node.right)
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr in ("format", "join"):
+                return True
+        return False
+
+    @classmethod
+    def _stringy(cls, node: ast.AST) -> bool:
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            return True
+        if isinstance(node, ast.JoinedStr):
+            return True
+        return cls._dynamic_string(node)

@@ -42,30 +42,51 @@ class MetadataCaches:
             config.counter_cache.access_cycles
             + config.ns_to_cycles(config.nvm.read_ns)
         )
+        # Per-kind counter names resolved once; the counter cache is on
+        # the per-store acceptance path, so its accessor avoids building
+        # "mdc.<kind>.<event>" strings per access.
+        self._count_counter_hit = self.stats.counter("mdc.counter.hits")
+        self._count_counter_miss = self.stats.counter("mdc.counter.misses")
+        self._count_mac_hit = self.stats.counter("mdc.mac.hits")
+        self._count_mac_miss = self.stats.counter("mdc.mac.misses")
+        self._count_bmt_hit = self.stats.counter("mdc.bmt.hits")
+        self._count_bmt_miss = self.stats.counter("mdc.bmt.misses")
+        self._counter_block_bytes = config.counter_cache.block_bytes
+        self._counter_cache_access = self.counter_cache.access
 
-    def _access(self, cache: Cache, key: int, kind: str) -> int:
-        block_bytes = cache.config.block_bytes
-        outcome, _ = cache.access(key * block_bytes, is_write=False)
+    def _access(self, cache: Cache, key: int, count_hit, count_miss) -> int:
+        outcome, _ = cache.access(key * cache.config.block_bytes, is_write=False)
         if outcome is AccessOutcome.HIT:
-            self.stats.add(f"mdc.{kind}.hits")
+            count_hit()
             return self._hit_cycles
-        self.stats.add(f"mdc.{kind}.misses")
+        count_miss()
         return self._miss_cycles
 
     # One accessor per metadata type ------------------------------------
 
     def access_counter(self, page_index: int) -> int:
         """Access the counter block of a page; returns latency in cycles."""
-        return self._access(self.counter_cache, page_index, "counter")
+        outcome, _ = self._counter_cache_access(
+            page_index * self._counter_block_bytes, is_write=False
+        )
+        if outcome is AccessOutcome.HIT:
+            self._count_counter_hit()
+            return self._hit_cycles
+        self._count_counter_miss()
+        return self._miss_cycles
 
     def access_mac(self, block_addr: int) -> int:
         """Access the MAC of a data block; returns latency in cycles."""
-        return self._access(self.mac_cache, block_addr, "mac")
+        return self._access(
+            self.mac_cache, block_addr, self._count_mac_hit, self._count_mac_miss
+        )
 
     def access_bmt_node(self, level: int, index: int) -> int:
         """Access one BMT node; returns latency in cycles."""
         key = (level << 48) | index
-        return self._access(self.bmt_cache, key, "bmt")
+        return self._access(
+            self.bmt_cache, key, self._count_bmt_hit, self._count_bmt_miss
+        )
 
     # Crash semantics ------------------------------------------------------
 

@@ -44,12 +44,22 @@ class BlockState(enum.Enum):
 DIRTY_STATES = frozenset({BlockState.MODIFIED, BlockState.PERSIST_DIRTY})
 
 
-@dataclass
 class CacheBlock:
-    """One resident cache block."""
+    """One resident cache block.
 
-    block_addr: int
-    state: BlockState
+    A plain ``__slots__`` class rather than a dataclass: one instance is
+    allocated per fill on the simulator's hot path, and dropping the
+    per-instance ``__dict__`` measurably cuts allocation cost and memory.
+    """
+
+    __slots__ = ("block_addr", "state")
+
+    def __init__(self, block_addr: int, state: BlockState):
+        self.block_addr = block_addr
+        self.state = state
+
+    def __repr__(self) -> str:
+        return f"CacheBlock(block_addr={self.block_addr!r}, state={self.state!r})"
 
     @property
     def dirty(self) -> bool:
@@ -97,6 +107,15 @@ class Cache:
         self._block_shift = config.block_bytes.bit_length() - 1
         if 1 << self._block_shift != config.block_bytes:
             raise ValueError("block size must be a power of two")
+        self._num_sets = config.num_sets
+        self._ways = config.ways
+        # Counter names are fixed per cache instance; resolve them once
+        # instead of rebuilding "cache.<name>.<event>" strings per access.
+        prefix = f"cache.{config.name}"
+        self._count_hit = self.stats.counter(f"{prefix}.hits")
+        self._count_miss = self.stats.counter(f"{prefix}.misses")
+        self._count_writeback = self.stats.counter(f"{prefix}.writebacks")
+        self._count_silent_discard = self.stats.counter(f"{prefix}.silent_discards")
 
     # Address helpers ------------------------------------------------------
 
@@ -156,9 +175,8 @@ class Cache:
         Returns:
             (outcome, eviction) — eviction is None when no victim was pushed.
         """
-        block_addr = self.block_address(addr)
-        cache_set = self._sets[self._set_index(block_addr)]
-        prefix = f"cache.{self.config.name}"
+        block_addr = addr >> self._block_shift
+        cache_set = self._sets[block_addr % self._num_sets]
 
         block = cache_set.get(block_addr)
         if block is not None:
@@ -167,18 +185,18 @@ class Cache:
                 block.state = (
                     BlockState.PERSIST_DIRTY if persist_region else BlockState.MODIFIED
                 )
-            self.stats.add(f"{prefix}.hits")
+            self._count_hit()
             return AccessOutcome.HIT, None
 
-        self.stats.add(f"{prefix}.misses")
+        self._count_miss()
         eviction = None
-        if len(cache_set) >= self.config.ways:
+        if len(cache_set) >= self._ways:
             victim_addr, victim = cache_set.popitem(last=False)
             eviction = EvictionRecord(victim_addr, victim.state)
             if eviction.writeback_required:
-                self.stats.add(f"{prefix}.writebacks")
+                self._count_writeback()
             elif victim.state is BlockState.PERSIST_DIRTY:
-                self.stats.add(f"{prefix}.silent_discards")
+                self._count_silent_discard()
 
         if is_write:
             state = BlockState.PERSIST_DIRTY if persist_region else BlockState.MODIFIED

@@ -15,6 +15,7 @@ pieces that model needs:
 
 from __future__ import annotations
 
+from bisect import insort
 from dataclasses import dataclass, field
 from typing import Tuple
 
@@ -83,14 +84,20 @@ class BoundedPipeline:
     """Tracks occupancy of a bounded in-flight window (e.g. store buffer).
 
     The core may have up to ``depth`` operations outstanding; pushing work
-    when the window is full stalls until the oldest completes.  Completions
-    are tracked as a sorted insertion into a ring of completion times — with
-    the small depths used here (32-ish) a simple list is faster than a heap.
+    when the window is full stalls until the oldest completes.
+
+    Completion times form a multiset, kept as a sorted list with a retire
+    cursor (``_head``): retiring an op advances the cursor instead of
+    rebuilding the list, and the oldest outstanding completion is always
+    ``_completions[_head]``.  The outstanding multiset — and therefore
+    every stall and occupancy value — is identical to filtering an
+    unordered list per push, just without the O(depth) copies.
     """
 
     name: str
     depth: int
     _completions: list = field(default_factory=list)
+    _head: int = 0
 
     def push(self, now: float, completion: float) -> float:
         """Add an operation completing at ``completion``.
@@ -99,21 +106,28 @@ class BoundedPipeline:
             Stall cycles suffered because the window was full at ``now``.
         """
         completions = self._completions
+        head = self._head
+        size = len(completions)
         # Retire everything already finished.
-        if completions:
-            pending = [c for c in completions if c > now]
-            if len(pending) != len(completions):
-                completions[:] = pending
+        while head < size and completions[head] <= now:
+            head += 1
         stall = 0.0
-        if len(completions) >= self.depth:
+        if size - head >= self.depth:
             # Must wait for the oldest outstanding op to retire.
-            oldest = min(completions)
+            oldest = completions[head]
             stall = max(0.0, oldest - now)
             release = now + stall
-            completions[:] = [c for c in completions if c > release]
-        completions.append(completion)
+            while head < size and completions[head] <= release:
+                head += 1
+        # Compact the retired prefix once it dominates the list, keeping
+        # pushes amortized O(1) in list length.
+        if head > 512 and head * 2 >= size:
+            del completions[:head]
+            head = 0
+        self._head = head
+        insort(completions, completion, head)
         return stall
 
     @property
     def occupancy(self) -> int:
-        return len(self._completions)
+        return len(self._completions) - self._head

@@ -41,28 +41,40 @@ class MemoryHierarchy:
             self.config.nvm, self.config.clock_ghz, self.stats
         )
         self.mc = MemoryController(self.config, self.nvm, self.stats)
+        # Hot-path constants and counters, resolved once per hierarchy:
+        # load_latency/store_access run once per trace reference.
+        self._l1_cycles = self.config.l1.access_cycles
+        self._l2_cycles = self.config.l2.access_cycles
+        self._l3_cycles = self.config.l3.access_cycles
+        self._nvm_read_cycles = self.nvm.timing.read_cycles
+        self._l1_access = self.l1.access
+        self._l2_access = self.l2.access
+        self._l3_access = self.l3.access
+        self._count_memory_read = self.stats.counter("hierarchy.memory_reads")
+        self._count_victim_writeback = self.stats.counter("hierarchy.victim_writebacks")
 
     # Timing ------------------------------------------------------------------
 
     def load_latency(self, addr: int) -> int:
         """Cycles for a load to return data, filling caches along the way."""
-        latency = self.config.l1.access_cycles
-        outcome, _ = self.l1.access(addr, is_write=False)
-        if outcome is AccessOutcome.HIT:
+        hit = AccessOutcome.HIT
+        latency = self._l1_cycles
+        outcome, _ = self._l1_access(addr, False)
+        if outcome is hit:
             return latency
 
-        latency += self.config.l2.access_cycles
-        outcome, _ = self.l2.access(addr, is_write=False)
-        if outcome is AccessOutcome.HIT:
+        latency += self._l2_cycles
+        outcome, _ = self._l2_access(addr, False)
+        if outcome is hit:
             return latency
 
-        latency += self.config.l3.access_cycles
-        outcome, _ = self.l3.access(addr, is_write=False)
-        if outcome is AccessOutcome.HIT:
+        latency += self._l3_cycles
+        outcome, _ = self._l3_access(addr, False)
+        if outcome is hit:
             return latency
 
-        self.stats.add("hierarchy.memory_reads")
-        return latency + self.nvm.timing.read_cycles
+        self._count_memory_read()
+        return latency + self._nvm_read_cycles
 
     def store_access(self, addr: int, persist_region: bool) -> Tuple[int, bool]:
         """Perform the cache side of a store (paper step 1).
@@ -75,24 +87,24 @@ class MemoryHierarchy:
         Returns:
             (latency_cycles, l1_hit)
         """
-        outcome, eviction = self.l1.access(addr, is_write=True, persist_region=persist_region)
-        latency = self.config.l1.access_cycles
+        outcome, eviction = self._l1_access(addr, True, persist_region)
+        latency = self._l1_cycles
         if outcome is AccessOutcome.HIT:
             return latency, True
 
         # Miss: charge the fill path. L2/L3 are probed as part of the fill.
-        l2_outcome, _ = self.l2.access(addr, is_write=False)
-        latency += self.config.l2.access_cycles
+        l2_outcome, _ = self._l2_access(addr, False)
+        latency += self._l2_cycles
         if l2_outcome is AccessOutcome.MISS:
-            l3_outcome, _ = self.l3.access(addr, is_write=False)
-            latency += self.config.l3.access_cycles
+            l3_outcome, _ = self._l3_access(addr, False)
+            latency += self._l3_cycles
             if l3_outcome is AccessOutcome.MISS:
-                self.stats.add("hierarchy.memory_reads")
-                latency += self.nvm.timing.read_cycles
+                self._count_memory_read()
+                latency += self._nvm_read_cycles
         if eviction is not None and eviction.writeback_required:
             # Non-persistent dirty victim: async writeback, no added latency
             # on the store path, but it consumes a WPQ-side write.
-            self.stats.add("hierarchy.victim_writebacks")
+            self._count_victim_writeback()
         return latency, False
 
     # Crash semantics -----------------------------------------------------------

@@ -11,9 +11,10 @@ The collector also derives the two workload statistics the paper leans on:
 
 from __future__ import annotations
 
+import math
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Mapping
+from typing import Callable, Dict, Iterable, Mapping
 
 
 class StatsCollector:
@@ -30,6 +31,22 @@ class StatsCollector:
     def add(self, name: str, amount: float = 1.0) -> None:
         """Increment counter ``name`` by ``amount``."""
         self._counters[name] += amount
+
+    def counter(self, name: str) -> Callable[[float], None]:
+        """A bound fast-path incrementer for one counter.
+
+        Hot components resolve their counter names once (at construction)
+        and call the returned closure per event, skipping the per-call
+        name hashing and attribute traffic of :meth:`add`.  The closure
+        stays valid across :meth:`reset` (which clears the mapping in
+        place) and is observationally identical to ``add(name, amount)``.
+        """
+        counters = self._counters
+
+        def bump(amount: float = 1.0) -> None:
+            counters[name] += amount
+
+        return bump
 
     def set(self, name: str, value: float) -> None:
         """Overwrite counter ``name`` with ``value``."""
@@ -132,16 +149,19 @@ class SimulationResult:
 
 
 def geometric_mean(values: Iterable[float]) -> float:
-    """Geometric mean of positive values (paper-style slowdown averaging)."""
+    """Geometric mean of positive values (paper-style slowdown averaging).
+
+    Computed in log space as ``exp(mean(log(v)))`` with a compensated sum
+    (:func:`math.fsum`): a naive running product over/underflows to
+    ``inf``/``0`` on long vectors of large/small slowdowns long before the
+    true mean leaves double range.
+    """
     values = list(values)
     if not values:
         raise ValueError("geometric mean of empty sequence")
     if any(v <= 0 for v in values):
         raise ValueError("geometric mean requires positive values")
-    product = 1.0
-    for value in values:
-        product *= value
-    return product ** (1.0 / len(values))
+    return math.exp(math.fsum(map(math.log, values)) / len(values))
 
 
 def arithmetic_mean(values: Iterable[float]) -> float:

@@ -67,11 +67,21 @@ class Trace:
     def iter_ops(self) -> Iterator[Tuple[bool, int, int]]:
         """Yield (is_store, block_addr, gap) per reference, in order."""
         # .tolist() converts to Python scalars once, which is markedly
-        # faster than indexing numpy arrays element-wise in a loop.
-        stores = self.is_store.tolist()
-        addrs = self.block_addr.tolist()
-        gaps = self.gap.tolist()
-        return zip(stores, addrs, gaps)
+        # faster than indexing numpy arrays element-wise in a loop.  The
+        # materialized columns are memoized: experiment sweeps iterate the
+        # same trace once per scheme, and rebuilding million-element lists
+        # per simulation dominated iteration cost.  Traces are treated as
+        # immutable after construction (head()/concat() return copies), so
+        # the memo can never go stale.
+        cached = self.__dict__.get("_columns")
+        if cached is None:
+            cached = (
+                self.is_store.tolist(),
+                self.block_addr.tolist(),
+                self.gap.tolist(),
+            )
+            self.__dict__["_columns"] = cached
+        return zip(*cached)
 
     def head(self, n: int) -> "Trace":
         """First ``n`` references (for quick tests)."""

@@ -1,0 +1,167 @@
+"""In-flight drain accounting must match the seed implementation.
+
+The hot-path work replaced the simulator's list-filter bookkeeping of
+in-flight drain completions with a ``heapq`` of completion times.  These
+tests pin the externally visible accounting — backflow stalls/cycles,
+forced drains, drain services and the peak-effective-occupancy gauge —
+to the exact values the seed (list-based) implementation produced on
+watermark-stress traces, captured before the optimization landed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import secpb as secpb_module
+from repro.core.controller import TimingCalibration
+from repro.core.schemes import get_scheme
+from repro.core.simulator import run_scheme
+from repro.sim.config import SystemConfig
+from repro.workloads.trace import Trace
+
+COUNTERS = (
+    "secpb.forced_drains",
+    "secpb.backflow_stalls",
+    "secpb.backflow_cycles",
+    "secpb.peak_effective_occupancy",
+    "drain.services",
+    "secpb.drains",
+    "secpb.allocations",
+)
+
+
+def stress_trace(n: int = 1500, distinct: int = 4096) -> Trace:
+    """All stores, each to a fresh block, zero compute gap.
+
+    Every store allocates a new SecPB entry, so the watermark/backflow
+    machinery saturates immediately and stays saturated.
+    """
+    addrs = np.arange(n, dtype=np.int64) % distinct + 1000
+    return Trace(
+        "stress", np.ones(n, dtype=bool), addrs, np.zeros(n, dtype=np.int32)
+    )
+
+
+def counters_of(result) -> dict:
+    return {name: result.stats.get(name, 0.0) for name in COUNTERS}
+
+
+class TestBackflowStallAccounting:
+    """Slot release only at MC completion -> allocation stalls (Sec. VI-A)."""
+
+    def test_cobcm_heavy_drains_on_tiny_buffer(self):
+        # Seed-captured: COBCM pays every metadata step on the drain path,
+        # so a 4-entry buffer backs the core up almost every allocation.
+        result = run_scheme(
+            stress_trace(),
+            get_scheme("cobcm"),
+            config=SystemConfig().with_secpb_entries(4),
+        )
+        assert counters_of(result) == {
+            "secpb.forced_drains": 0.0,
+            "secpb.backflow_stalls": 1496.0,
+            "secpb.backflow_cycles": 22440.0,
+            "secpb.peak_effective_occupancy": 4,
+            "drain.services": 1498.0,
+            "secpb.drains": 1498.0,
+            "secpb.allocations": 1500.0,
+        }
+        assert result.cycles == 23940.0
+
+    def test_nogap_single_entry_buffer(self):
+        result = run_scheme(
+            stress_trace(),
+            get_scheme("nogap"),
+            config=SystemConfig().with_secpb_entries(1),
+        )
+        assert counters_of(result) == {
+            "secpb.forced_drains": 0.0,
+            "secpb.backflow_stalls": 1499.0,
+            "secpb.backflow_cycles": 2998.0,
+            "secpb.peak_effective_occupancy": 1,
+            "drain.services": 1500.0,
+            "secpb.drains": 1500.0,
+            "secpb.allocations": 1500.0,
+        }
+        assert result.cycles == 539633.0
+
+    def test_bbb_insecure_fast_path_still_stalls(self):
+        # The insecure BBB store fast path must keep the same backflow
+        # accounting as the seed: the buffer geometry, not the metadata
+        # work, causes these stalls.
+        result = run_scheme(
+            stress_trace(), None, config=SystemConfig().with_secpb_entries(4)
+        )
+        assert counters_of(result) == {
+            "secpb.forced_drains": 0.0,
+            "secpb.backflow_stalls": 1496.0,
+            "secpb.backflow_cycles": 1496.0,
+            "secpb.peak_effective_occupancy": 4,
+            "drain.services": 1498.0,
+            "secpb.drains": 1498.0,
+            "secpb.allocations": 1500.0,
+        }
+        assert result.cycles == 2996.0
+
+
+class TestInstantDrainAccounting:
+    def test_zero_cycle_drains_never_stall(self):
+        # drain_transfer_cycles=0: completions land exactly at `clock`, so
+        # the heap prune (strictly-greater comparison) must retire them
+        # immediately — an off-by-one (>= vs >) would deadlock or stall.
+        result = run_scheme(
+            stress_trace(),
+            None,
+            config=SystemConfig().with_secpb_entries(1),
+            calibration=TimingCalibration(drain_transfer_cycles=0),
+        )
+        assert counters_of(result) == {
+            "secpb.forced_drains": 0.0,
+            "secpb.backflow_stalls": 0.0,
+            "secpb.backflow_cycles": 0.0,
+            "secpb.peak_effective_occupancy": 1,
+            "drain.services": 1500.0,
+            "secpb.drains": 1500.0,
+            "secpb.allocations": 1500.0,
+        }
+        assert result.cycles == 1500.0
+
+
+class TestForcedDrainProgressGuarantee:
+    def test_underdraining_policy_forces_progress(self, monkeypatch):
+        # The watermark policy never under-drains on its own (the
+        # config-sweep search for a natural trigger comes up empty), so
+        # exercise the guarantee directly: a policy that always returns
+        # zero targets leaves the forced drain as the only way entries
+        # ever leave the buffer.  Values captured from the seed loop.
+        monkeypatch.setattr(secpb_module.SecPB, "drain_targets", lambda self: 0)
+        result = run_scheme(
+            stress_trace(n=200),
+            None,
+            config=SystemConfig().with_secpb_entries(4),
+        )
+        assert counters_of(result) == {
+            "secpb.forced_drains": 196.0,
+            "secpb.backflow_stalls": 196.0,
+            "secpb.backflow_cycles": 392.0,
+            "secpb.peak_effective_occupancy": 4,
+            "drain.services": 196.0,
+            "secpb.drains": 196.0,
+            "secpb.allocations": 200.0,
+        }
+        assert result.cycles == 592.0
+
+    def test_peak_effective_occupancy_never_exceeds_capacity(self):
+        for entries in (1, 2, 4, 8):
+            result = run_scheme(
+                stress_trace(n=400),
+                get_scheme("cobcm"),
+                config=SystemConfig().with_secpb_entries(entries),
+            )
+            peak = result.stats["secpb.peak_effective_occupancy"]
+            assert 0 < peak <= entries
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q"]))

@@ -217,6 +217,103 @@ def test_spb104_os_getenv():
     assert codes(findings) == ["SPB104"]
 
 
+# --- SPB105: per-access counter-name construction -------------------------
+
+
+def test_spb105_fstring_name_in_access_method():
+    findings = lint_sim(
+        """
+        class Cache:
+            def access(self, addr):
+                self.stats.add(f"cache.{self.name}.hits")
+        """
+    )
+    assert codes(findings) == ["SPB105"]
+
+
+def test_spb105_concatenated_name():
+    findings = lint_sim(
+        """
+        def record(stats, kind):
+            stats.add("mdc." + kind + ".misses")
+        """
+    )
+    assert codes(findings) == ["SPB105"]
+
+
+def test_spb105_percent_format_name():
+    findings = lint_sim(
+        """
+        def record(stats, kind):
+            stats.add("mdc.%s.hits" % kind)
+        """
+    )
+    assert codes(findings) == ["SPB105"]
+
+
+def test_spb105_str_format_name():
+    findings = lint_sim(
+        """
+        def record(stats, level):
+            stats.set("bmt.level.{}".format(level), 1)
+        """
+    )
+    assert codes(findings) == ["SPB105"]
+
+
+def test_spb105_counter_binding_in_init_is_clean():
+    # The sanctioned pattern: build the name once at construction time
+    # and bind a closure for the per-access path.
+    findings = lint_sim(
+        """
+        class Cache:
+            def __init__(self, config):
+                prefix = f"cache.{config.name}"
+                self._count_hit = self.stats.counter(f"{prefix}.hits")
+
+            def access(self, addr):
+                self._count_hit()
+        """
+    )
+    assert findings == []
+
+
+def test_spb105_literal_name_in_access_method_is_clean():
+    findings = lint_sim(
+        """
+        class NVM:
+            def read(self, addr):
+                self.stats.add("nvm.reads")
+        """
+    )
+    assert findings == []
+
+
+def test_spb105_dynamic_counter_call_outside_init():
+    findings = lint_sim(
+        """
+        class Cache:
+            def rebuild(self):
+                self._count_hit = self.stats.counter(f"cache.{self.name}.hits")
+        """
+    )
+    assert codes(findings) == ["SPB105"]
+
+
+def test_spb105_out_of_scope_module_is_clean():
+    findings = lint_source(
+        textwrap.dedent(
+            """
+            def plot(stats, scheme):
+                stats.add(f"plots.{scheme}")
+            """
+        ),
+        "plots.py",
+        module=ANALYSIS_MODULE,
+    )
+    assert findings == []
+
+
 # --- SPB301-303: stats hygiene -------------------------------------------
 
 

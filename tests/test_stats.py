@@ -99,6 +99,23 @@ class TestMeans:
     def test_geometric_mean_identity(self):
         assert geometric_mean([3.0]) == pytest.approx(3.0)
 
+    def test_geometric_mean_long_vector_no_overflow(self):
+        # 1e5 slowdowns of 10x: a naive running product reaches 1e100000
+        # (inf in doubles); the log-space form must return exactly the
+        # common value.
+        values = [10.0] * 100_000
+        assert geometric_mean(values) == pytest.approx(10.0, rel=1e-12)
+
+    def test_geometric_mean_long_vector_no_underflow(self):
+        values = [1e-3] * 100_000
+        assert geometric_mean(values) == pytest.approx(1e-3, rel=1e-12)
+
+    def test_geometric_mean_mixed_long_vector(self):
+        # Alternating 4x and 0.25x slowdowns cancel to exactly 1.0 even
+        # at lengths where the running product would have overflowed.
+        values = [4.0, 0.25] * 50_000
+        assert geometric_mean(values) == pytest.approx(1.0, rel=1e-12)
+
     def test_geometric_mean_rejects_nonpositive(self):
         with pytest.raises(ValueError):
             geometric_mean([1.0, 0.0])

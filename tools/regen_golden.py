@@ -1,0 +1,34 @@
+#!/usr/bin/env python
+"""Regenerate the golden-output files under tests/data/.
+
+Usage::
+
+    PYTHONPATH=src python tools/regen_golden.py
+
+Only legitimate when a PR *intentionally* changes simulator semantics
+(new timing model, new counters).  Performance work must never need
+this — the whole point of the goldens is that optimized code produces
+byte-identical artifacts (see tests/test_golden_output.py).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT))
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from tests import golden  # noqa: E402
+
+
+def main() -> int:
+    golden.regenerate()
+    for name in golden.GOLDEN_BUILDERS:
+        print(f"wrote {golden.GOLDEN_DIR / name}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
