@@ -26,10 +26,12 @@ lint:
 		echo "mypy not installed; skipping"; \
 	fi
 
-# The CI entry point: static analysis, the tier-1 suite, and the quick
-# parallel-runner smoke (mirrors .github/workflows/ci.yml).
+# The CI entry point: static analysis, the tier-1 suite, the quick
+# parallel-runner smoke, and the fault-campaign smoke (mirrors
+# .github/workflows/ci.yml).
 ci: lint test
 	$(PYTHON) -m pytest benchmarks -m quick -q -p no:cacheprovider
+	$(PYTHON) -m repro faultcampaign --crash-points 2 --num-stores 40 --jobs 2
 
 smoke: test
 	$(PYTHON) -m pytest benchmarks -m quick -q -p no:cacheprovider

@@ -1,0 +1,49 @@
+"""Quick fault-campaign smoke: the robustness gate on every PR.
+
+Marked ``quick`` so CI (and ``make ci``) runs a reduced — but still
+adversarial — campaign through the hardened parallel runner in seconds:
+two schemes across all case flavours (system/app crashes, both drain
+policies, brownouts, all five tamper targets, gapped baselines), fanned
+over a 2-worker pool and checked identical to the serial run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.fault import CampaignSpec, run_campaign
+
+pytestmark = pytest.mark.quick
+
+SMOKE_SPEC = CampaignSpec(
+    schemes=("cobcm", "nogap"),
+    crash_points=2,
+    gapped_points=3,
+    num_stores=40,
+)
+
+
+def test_smoke_campaign_all_verdicts_correct(save_result):
+    report = run_campaign(SMOKE_SPEC, jobs=2, minimize=False)
+    assert report.all_passed, report.render()
+    assert not report.job_failures
+    serial = run_campaign(SMOKE_SPEC, jobs=1, minimize=False)
+    assert report.results == serial.results
+    save_result("fault_smoke", report.render())
+
+
+def test_cli_faultcampaign_smoke(capsys):
+    code = main(
+        [
+            "faultcampaign",
+            "--schemes", "cobcm,nogap",
+            "--crash-points", "2",
+            "--num-stores", "40",
+            "--jobs", "2",
+            "--no-minimize",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "0 failed" in out and "0 job failure(s)" in out

@@ -19,7 +19,7 @@ from .experiments import (
     run_table6,
 )
 from .report import format_table, paper_vs_measured, series_table
-from .runner import SimJob, SimSpec, execute_job, run_jobs
+from .runner import JobFailure, SimJob, SimSpec, execute_job, run_jobs, run_tasks
 from .serialize import load_result, result_to_dict, save_result, to_jsonable
 
 __all__ = [
@@ -27,6 +27,7 @@ __all__ = [
     "BmtUpdatesResult",
     "DEFAULT_NUM_OPS",
     "EXPERIMENTS",
+    "JobFailure",
     "SchemeOverheads",
     "SimJob",
     "SimSpec",
@@ -47,6 +48,7 @@ __all__ = [
     "result_to_dict",
     "run_jobs",
     "run_table6",
+    "run_tasks",
     "save_result",
     "series_table",
     "to_jsonable",

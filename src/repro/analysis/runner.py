@@ -17,6 +17,15 @@ reduction is *identical* regardless of worker count or completion order:
 * results are assembled in *submission order* into a plain dict — the
   parallel output is the same object, bit for bit, as the serial one.
 
+The generic engine underneath, :func:`run_tasks`, also powers the
+fault-injection campaign (:mod:`repro.fault`) and is **hardened**: a
+task that raises is retried once and — under ``on_error="record"`` —
+captured as a picklable :class:`JobFailure` instead of poisoning the
+whole sweep, so callers can distinguish "the simulation says
+unrecoverable" from "the worker blew up" and still salvage every other
+task's result.  A per-task timeout bounds how long the harvest waits on
+any one future.
+
 Per-job progress and wall-clock timing are emitted on the
 ``repro.analysis.runner`` logger (enable with ``--verbose`` on the CLI);
 logging never touches stdout, keeping rendered artifacts byte-identical
@@ -27,9 +36,20 @@ from __future__ import annotations
 
 import logging
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass
-from typing import Any, Dict, Optional, Sequence, Set, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from ..baselines.strict import StrictPersistencySimulator
 from ..core.controller import TimingCalibration
@@ -44,6 +64,28 @@ logger = logging.getLogger(__name__)
 
 JobKey = Tuple[Any, ...]
 """A job's stable identity — any hashable tuple, unique within one sweep."""
+
+
+@dataclass(frozen=True)
+class JobFailure:
+    """Structured record of one task that did not produce a result.
+
+    Picklable pure data, so it crosses the pool boundary and serializes
+    into campaign reports.  ``timed_out`` distinguishes a harvest-timeout
+    abandonment from a worker exception; ``attempts`` counts every
+    execution try (1 = failed with no retry budget, 2 = failed twice).
+    """
+
+    key: JobKey
+    error_type: str
+    message: str
+    traceback: str
+    attempts: int
+    timed_out: bool = False
+
+    def __str__(self) -> str:
+        kind = "timeout" if self.timed_out else self.error_type
+        return f"JobFailure({self.key!r}: {kind}: {self.message})"
 
 
 @dataclass(frozen=True)
@@ -129,14 +171,214 @@ def execute_job(job: SimJob) -> SimulationResult:
     return simulator.run(trace, job.warmup_frac)
 
 
-def _timed_execute(job: SimJob) -> Tuple[SimulationResult, float]:
+def _timed_call(fn: Callable[[Any], Any], task: Any) -> Tuple[Any, float]:
+    """Module-level wrapper (picklable) adding wall-clock timing."""
     start = time.perf_counter()
-    result = execute_job(job)
+    result = fn(task)
     return result, time.perf_counter() - start
 
 
+def _check_unique_keys(tasks: Sequence[Any]) -> None:
+    keys = [task.key for task in tasks]
+    if len(set(keys)) != len(keys):
+        seen: Set[JobKey] = set()
+        dupes: Set[JobKey] = set()
+        for key in keys:
+            (dupes if key in seen else seen).add(key)
+        raise ValueError(f"duplicate job keys: {sorted(map(str, dupes))}")
+
+
+def _failure_for(key: JobKey, exc: BaseException, attempts: int) -> JobFailure:
+    return JobFailure(
+        key=key,
+        error_type=type(exc).__name__,
+        message=str(exc),
+        traceback="".join(
+            traceback.format_exception(type(exc), exc, exc.__traceback__)
+        ),
+        attempts=attempts,
+    )
+
+
+def _run_tasks_serial(
+    tasks: Sequence[Any],
+    fn: Callable[[Any], Any],
+    on_error: str,
+    retries: int,
+) -> Dict[JobKey, Any]:
+    total = len(tasks)
+    results: Dict[JobKey, Any] = {}
+    for index, task in enumerate(tasks, start=1):
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                result, elapsed = _timed_call(fn, task)
+            except Exception as exc:
+                if attempts <= retries:
+                    logger.info(
+                        "[%d/%d] %s failed (%s), retrying",
+                        index, total, task.key, type(exc).__name__,
+                    )
+                    continue
+                if on_error == "raise":
+                    raise
+                results[task.key] = _failure_for(task.key, exc, attempts)
+                logger.info("[%d/%d] %s: FAILED after %d attempt(s)",
+                            index, total, task.key, attempts)
+                break
+            results[task.key] = result
+            logger.info(
+                "[%d/%d] %s: done in %.2fs", index, total, task.key, elapsed
+            )
+            break
+    return results
+
+
+def _run_tasks_pool(
+    tasks: Sequence[Any],
+    fn: Callable[[Any], Any],
+    workers: int,
+    on_error: str,
+    retries: int,
+    timeout: Optional[float],
+) -> Dict[JobKey, Any]:
+    total = len(tasks)
+    results: Dict[JobKey, Any] = {}
+    #: key -> prior execution attempts (for retry accounting)
+    attempts: Dict[JobKey, int] = {task.key: 0 for task in tasks}
+    timed_out = False
+    pool = ProcessPoolExecutor(max_workers=min(workers, total))
+    try:
+        pending = list(tasks)
+        round_index = 0
+        while pending:
+            round_index += 1
+            futures = [(task, pool.submit(_timed_call, fn, task)) for task in pending]
+            retry: List[Any] = []
+            for index, (task, future) in enumerate(futures, start=1):
+                key = task.key
+                attempts[key] += 1
+                try:
+                    # Harvest in submission order; the per-task timeout is
+                    # measured from when the harvest starts waiting on the
+                    # future, so a task never gets *less* than `timeout`
+                    # seconds of wall clock.
+                    result, elapsed = future.result(timeout=timeout)
+                except FutureTimeoutError:
+                    # The worker may be wedged; record and move on — the
+                    # remaining futures are still harvested (salvage).
+                    timed_out = True
+                    results[key] = JobFailure(
+                        key=key,
+                        error_type="TimeoutError",
+                        message=(
+                            f"no result within {timeout}s; "
+                            "worker abandoned"
+                        ),
+                        traceback="",
+                        attempts=attempts[key],
+                        timed_out=True,
+                    )
+                    logger.info(
+                        "[%d/%d] %s: TIMED OUT after %.1fs",
+                        index, len(futures), key, timeout,
+                    )
+                    if on_error == "raise":
+                        raise TimeoutError(
+                            f"job {key!r} produced no result within {timeout}s"
+                        )
+                    continue
+                except Exception as exc:
+                    if attempts[key] <= retries:
+                        retry.append(task)
+                        logger.info(
+                            "[%d/%d] %s failed (%s), retrying",
+                            index, len(futures), key, type(exc).__name__,
+                        )
+                        continue
+                    if on_error == "raise":
+                        raise
+                    results[key] = _failure_for(key, exc, attempts[key])
+                    logger.info(
+                        "[%d/%d] %s: FAILED after %d attempt(s)",
+                        index, len(futures), key, attempts[key],
+                    )
+                    continue
+                results[key] = result
+                logger.info(
+                    "[%d/%d] %s: done in %.2fs",
+                    index, len(futures), key, elapsed,
+                )
+            pending = retry
+    finally:
+        # A timed-out worker may never return; don't block shutdown on it.
+        if timed_out:
+            pool.shutdown(wait=False, cancel_futures=True)
+        else:
+            pool.shutdown(wait=True)
+    return results
+
+
+def run_tasks(
+    tasks: Sequence[Any],
+    fn: Callable[[Any], Any],
+    workers: int = 1,
+    on_error: str = "raise",
+    retries: int = 1,
+    timeout: Optional[float] = None,
+) -> Dict[JobKey, Any]:
+    """Execute keyed tasks and return ``{task.key: result}`` in task order.
+
+    The generic engine behind :func:`run_jobs` and the fault campaign.
+    ``tasks`` is any sequence of picklable objects with a hashable,
+    unique ``.key`` attribute; ``fn`` is a module-level (picklable)
+    function mapping one task to its result.
+
+    Args:
+        tasks: the work items, in the order results should be keyed.
+        fn: ``task -> result``; must be picklable for ``workers > 1``.
+        workers: ``<= 1`` runs serially in-process (the reference
+            behavior); more fans tasks out on a process pool.
+        on_error: ``"raise"`` propagates the first task exception (after
+            retries) — the legacy, fail-fast behavior; ``"record"``
+            stores a :class:`JobFailure` under the task's key instead,
+            so one poisoned task cannot take down the sweep and every
+            other task's result is salvaged.
+        retries: extra executions granted to a task that raised
+            (default 1 — i.e. one retry).  Timeouts are never retried:
+            the worker may still be running.
+        timeout: per-task harvest timeout in seconds (pool mode only —
+            a serial run cannot preempt the task).  An expired task is
+            recorded as a timed-out :class:`JobFailure` under
+            ``on_error="record"``.
+
+    Returns:
+        Results keyed and ordered by ``task.key``; under
+        ``on_error="record"`` a value is either ``fn``'s result or a
+        :class:`JobFailure`.
+    """
+    if on_error not in ("raise", "record"):
+        raise ValueError(f"unknown on_error mode {on_error!r}")
+    tasks = list(tasks)
+    _check_unique_keys(tasks)
+    if not tasks:
+        return {}
+    if workers <= 1 or len(tasks) <= 1:
+        results = _run_tasks_serial(tasks, fn, on_error, retries)
+    else:
+        results = _run_tasks_pool(
+            tasks, fn, workers, on_error, retries, timeout
+        )
+    return {task.key: results[task.key] for task in tasks}
+
+
 def run_jobs(
-    jobs: Sequence[SimJob], workers: int = 1
+    jobs: Sequence[SimJob],
+    workers: int = 1,
+    on_error: str = "raise",
+    retries: int = 1,
+    timeout: Optional[float] = None,
 ) -> Dict[JobKey, SimulationResult]:
     """Execute ``jobs`` and return ``{job.key: result}`` in job order.
 
@@ -145,35 +387,17 @@ def run_jobs(
     Both paths produce bit-identical result mappings — the simulations
     are deterministic and results are keyed, so completion order cannot
     leak into the output.
-    """
-    jobs = list(jobs)
-    keys = [job.key for job in jobs]
-    if len(set(keys)) != len(keys):
-        seen: Set[JobKey] = set()
-        dupes: Set[JobKey] = set()
-        for key in keys:
-            (dupes if key in seen else seen).add(key)
-        raise ValueError(f"duplicate job keys: {sorted(map(str, dupes))}")
 
-    total = len(jobs)
-    results: Dict[JobKey, SimulationResult] = {}
-    if workers <= 1 or total <= 1:
-        for index, job in enumerate(jobs, start=1):
-            result, elapsed = _timed_execute(job)
-            results[job.key] = result
-            logger.info(
-                "[%d/%d] %s: %.0f cycles in %.2fs",
-                index, total, job.key, result.cycles, elapsed,
-            )
-    else:
-        with ProcessPoolExecutor(max_workers=min(workers, total)) as pool:
-            futures = {pool.submit(_timed_execute, job): job for job in jobs}
-            for index, future in enumerate(as_completed(futures), start=1):
-                job = futures[future]
-                result, elapsed = future.result()
-                results[job.key] = result
-                logger.info(
-                    "[%d/%d] %s: %.0f cycles in %.2fs",
-                    index, total, job.key, result.cycles, elapsed,
-                )
-    return {job.key: results[job.key] for job in jobs}
+    Hardening knobs (``on_error``/``retries``/``timeout``) are forwarded
+    to :func:`run_tasks`; with ``on_error="record"`` a failing job maps
+    to a :class:`JobFailure` while every healthy job's result stays
+    byte-identical to its serial run.
+    """
+    return run_tasks(
+        jobs,
+        execute_job,
+        workers=workers,
+        on_error=on_error,
+        retries=retries,
+        timeout=timeout,
+    )

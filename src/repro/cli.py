@@ -15,6 +15,9 @@ Commands:
   component plus the timing model's simulated-cycle breakdown.
 * ``lint`` — run secpb-lint (determinism / scheme-invariant /
   stats-hygiene / pool-safety static analysis) over the source tree.
+* ``faultcampaign`` — seeded fault-injection campaign: adversarial
+  crashes, battery brownouts, and post-crash tamper across every scheme,
+  with failing-case minimization to replayable JSON reproducers.
 * ``list`` — available benchmarks, schemes and experiments.
 """
 
@@ -191,6 +194,63 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return lint_main(forwarded)
 
 
+def _cmd_faultcampaign(args: argparse.Namespace) -> int:
+    from .fault import CampaignSpec, run_campaign, save_reproducer
+    from .fault.minimize import replay_reproducer
+
+    if args.verbose:
+        logging.basicConfig(
+            level=logging.INFO, stream=sys.stderr, format="%(message)s"
+        )
+    if args.replay:
+        result = replay_reproducer(args.replay)
+        status = "PASS" if result.passed else "FAIL"
+        print(
+            f"{status} {result.case_id}: expected {result.expected}, "
+            f"got {result.observed}"
+        )
+        if result.detail:
+            print(f"  {result.detail}")
+        return 0 if result.passed else 1
+
+    schemes = (
+        tuple(SPECTRUM_ORDER)
+        if args.schemes == "all"
+        else tuple(args.schemes.split(","))
+    )
+    for name in schemes:
+        get_scheme(name)  # fail fast on a typo before building 200 cases
+    spec = CampaignSpec(
+        seed=args.seed,
+        schemes=schemes,
+        crash_points=args.crash_points,
+        num_stores=args.num_stores,
+        num_asids=args.asids,
+    )
+    report = run_campaign(
+        spec,
+        jobs=args.jobs,
+        timeout=args.timeout,
+        minimize=not args.no_minimize,
+    )
+    print(report.render())
+    if args.save:
+        with open(args.save, "w") as handle:
+            handle.write(report.to_json() + "\n")
+        print(f"report saved to {args.save}", file=sys.stderr)
+    if args.repro_dir and report.reproducers:
+        import os
+
+        os.makedirs(args.repro_dir, exist_ok=True)
+        for repro in report.reproducers:
+            name = repro.case_id.replace("/", "_") + ".json"
+            path = save_reproducer(
+                repro.minimized, os.path.join(args.repro_dir, name)
+            )
+            print(f"reproducer saved to {path}", file=sys.stderr)
+    return 0 if report.all_passed else 1
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
     print("schemes:     " + ", ".join(SPECTRUM_ORDER))
     print("experiments: " + ", ".join(sorted(EXPERIMENTS)))
@@ -308,6 +368,57 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--ignore", action="append", metavar="CODE")
     lint.add_argument("--list-rules", action="store_true")
     lint.set_defaults(func=_cmd_lint)
+
+    faultcampaign = sub.add_parser(
+        "faultcampaign",
+        help="fault-injection campaign: adversarial crashes, brownouts, "
+        "tamper detection, minimized reproducers",
+    )
+    faultcampaign.add_argument(
+        "--schemes",
+        default="all",
+        help="comma-separated scheme names (default: the full spectrum)",
+    )
+    faultcampaign.add_argument(
+        "--crash-points",
+        type=int,
+        default=8,
+        help="sampled crash indices per scheme and crash kind",
+    )
+    faultcampaign.add_argument("--num-stores", type=int, default=60)
+    faultcampaign.add_argument("--asids", type=int, default=4)
+    faultcampaign.add_argument("--seed", type=int, default=2023)
+    faultcampaign.add_argument(
+        "--jobs", type=int, default=1, help="worker processes (default: serial)"
+    )
+    faultcampaign.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-case timeout in seconds (pool mode only)",
+    )
+    faultcampaign.add_argument(
+        "--save", metavar="PATH", default=None, help="write the JSON report"
+    )
+    faultcampaign.add_argument(
+        "--repro-dir",
+        metavar="DIR",
+        default=None,
+        help="save minimized reproducers for failing cases here",
+    )
+    faultcampaign.add_argument(
+        "--replay",
+        metavar="FILE",
+        default=None,
+        help="replay one saved reproducer instead of running a campaign",
+    )
+    faultcampaign.add_argument(
+        "--no-minimize",
+        action="store_true",
+        help="skip failing-case minimization",
+    )
+    faultcampaign.add_argument("--verbose", "-v", action="store_true")
+    faultcampaign.set_defaults(func=_cmd_faultcampaign)
 
     lister = sub.add_parser("list", help="available schemes/benchmarks/experiments")
     lister.set_defaults(func=_cmd_list)

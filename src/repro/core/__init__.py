@@ -17,6 +17,7 @@ from .coherence import CoherenceError, MigrationReport, SecPBDirectory
 from .crash import (
     AppCrashPolicy,
     CrashReport,
+    CrashVerdict,
     GappedPersistentSystem,
     SecurePersistentSystem,
 )
@@ -26,6 +27,7 @@ from .recovery import (
     RecoveryBlocked,
     RecoveryObserver,
     RecoveryReport,
+    RecoveryVerdict,
 )
 from .schemes import (
     ALL_STEPS,
@@ -58,6 +60,7 @@ __all__ = [
     "COBCM",
     "CoherenceError",
     "CrashReport",
+    "CrashVerdict",
     "DrainedEntry",
     "GappedPersistentSystem",
     "M",
@@ -72,6 +75,7 @@ __all__ = [
     "RecoveryObserver",
     "RecoveryReport",
     "RecoveryTimeEstimate",
+    "RecoveryVerdict",
     "SCHEMES",
     "SPECTRUM_ORDER",
     "STEP_DEPENDENCIES",

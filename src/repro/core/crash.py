@@ -21,7 +21,7 @@ warning) are honoured via :class:`~repro.core.recovery.RecoveryObserver`.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..security.engine import SecureMemory
@@ -30,7 +30,7 @@ from ..sim.config import CACHE_BLOCK_BYTES, SystemConfig
 from ..sim.hierarchy import MemoryHierarchy
 from .recovery import ObserverPolicy, RecoveryObserver, RecoveryReport
 from .schemes import Scheme
-from .secpb import DrainedEntry, SecPB
+from .secpb import DrainedEntry, SecPB, SecPBEntry
 
 
 class AppCrashPolicy(enum.Enum):
@@ -40,14 +40,45 @@ class AppCrashPolicy(enum.Enum):
     DRAIN_PROCESS = "drain-process"
 
 
+class CrashVerdict(enum.Enum):
+    """Did the battery finish the whole crash drain?
+
+    ``COMPLETE`` is the paper's designed-for case: the battery was sized
+    for the worst case and every SecPB entry reached PM with its late
+    steps done.  ``PARTIAL`` is the brownout case: the energy budget died
+    mid-drain, a prefix persisted, and the rest is recorded as lost.
+    """
+
+    COMPLETE = "complete"
+    PARTIAL = "partial"
+
+
 @dataclass
 class CrashReport:
-    """What the battery had to do when the crash hit."""
+    """What the battery had to do when the crash hit.
+
+    Attributes:
+        entries_drained: SecPB entries the battery moved to PM.
+        late_steps_completed: scheme late steps finished on battery.
+        invariants_ok: PLP tuple audit over the *persisted* stores.
+        invariant_violation: first violation, when ``invariants_ok`` is
+            False.
+        verdict: COMPLETE, or PARTIAL when the energy budget browned out.
+        unpersisted_blocks: blocks whose latest store was lost with the
+            undrained SecPB entries (empty unless PARTIAL).
+        energy_budget_nj: the budget the crash ran under (None =
+            unconstrained, the always-sufficient battery).
+        energy_spent_nj: energy the drain actually consumed.
+    """
 
     entries_drained: int
     late_steps_completed: int
     invariants_ok: bool
     invariant_violation: Optional[str] = None
+    verdict: CrashVerdict = CrashVerdict.COMPLETE
+    unpersisted_blocks: List[int] = field(default_factory=list)
+    energy_budget_nj: Optional[float] = None
+    energy_spent_nj: float = 0.0
 
 
 class SecurePersistentSystem:
@@ -78,6 +109,8 @@ class SecurePersistentSystem:
         self._tuple_by_block: Dict[int, TupleState] = {}
         self._logical_time = 0.0
         self._crashed = False
+        # Blocks whose latest store was lost to a battery brownout.
+        self._unpersisted: List[int] = []
 
     # Store path ------------------------------------------------------------
 
@@ -134,28 +167,97 @@ class SecurePersistentSystem:
 
     # Crash path ----------------------------------------------------------
 
-    def crash(self) -> CrashReport:
+    def crash(
+        self,
+        energy_budget_nj: Optional[float] = None,
+        per_entry_nj: Optional[float] = None,
+    ) -> CrashReport:
         """Power loss / system crash: volatile state dies, battery drains.
 
         The battery covers the draining gap *and* the sec-sync gap: every
         SecPB entry is drained to the MC, where the scheme's late metadata
         steps complete, then everything is flushed to PM.
+
+        Args:
+            energy_budget_nj: finite battery energy for the drain.  The
+                default (None) models the paper's always-sufficient,
+                worst-case-sized battery.  With a budget, each drained
+                entry charges the scheme's worst-case per-entry energy
+                (:func:`repro.energy.battery.per_entry_drain_energy_nj`);
+                when the budget cannot cover the next entry the battery
+                *browns out*: the remaining entries are lost, their blocks
+                recorded in ``unpersisted_blocks``, and the report's
+                verdict is PARTIAL instead of COMPLETE.
+            per_entry_nj: override for the per-entry drain energy (e.g. a
+                measured rather than worst-case figure); only meaningful
+                with a budget.
+
+        Raises:
+            RuntimeError: when the system has already crashed — a second
+                power-loss cannot re-drain an empty SecPB, and a second
+                CrashReport would be meaningless.
         """
+        if self._crashed:
+            raise RuntimeError(
+                "system already crashed: a crashed system cannot crash "
+                "again; inspect the first CrashReport or rebuild"
+            )
         self._crashed = True
         self.hierarchy.discard_volatile()
-        entries = self.secpb.drain_all()
+
+        if energy_budget_nj is None:
+            entries = self.secpb.drain_all()
+            lost: List[SecPBEntry] = []
+            spent = 0.0
+        else:
+            if per_entry_nj is None:
+                # Imported lazily: repro.energy imports repro.core at
+                # module load, so a top-level import here would cycle.
+                from ..energy.battery import per_entry_drain_energy_nj
+
+                per_entry_nj = per_entry_drain_energy_nj(
+                    self.scheme, self.config
+                )
+            entries = []
+            spent = 0.0
+            while (
+                self.secpb.occupancy
+                and spent + per_entry_nj <= energy_budget_nj
+            ):
+                entries.append(self.secpb.drain_oldest())
+                spent += per_entry_nj
+            lost = self.secpb.discard_remaining()
+
         late_steps = len(entries) * len(self.scheme.late_steps)
         for entry in entries:
             self._persist_drained(entry)
         self.hierarchy.mc.flush_wpq()
+
+        unpersisted = sorted({e.block_addr for e in lost})
+        self._unpersisted = unpersisted
+        lost_set = set(unpersisted)
+        # Audit only the persisted prefix: tuples of brownout-lost stores
+        # are *known* incomplete and reported via unpersisted_blocks, not
+        # as an invariant violation.
         ok, violation = audit_observable_state(
-            [t for t in self._tuples if t.block_addr in self.expected]
+            [
+                t
+                for t in self._tuples
+                if t.block_addr in self.expected
+                and not (not t.complete and t.block_addr in lost_set)
+            ]
         )
         return CrashReport(
             entries_drained=len(entries),
             late_steps_completed=late_steps,
             invariants_ok=ok,
             invariant_violation=violation,
+            verdict=(
+                CrashVerdict.PARTIAL if unpersisted else CrashVerdict.COMPLETE
+            ),
+            unpersisted_blocks=unpersisted,
+            energy_budget_nj=energy_budget_nj,
+            energy_spent_nj=spent,
         )
 
     def app_crash(
@@ -168,7 +270,15 @@ class SecurePersistentSystem:
         ``DRAIN_ALL`` (the paper's choice) drains every entry regardless of
         owner; ``DRAIN_PROCESS`` drains only the crashed ASID's entries,
         preserving other processes' coalescing opportunities.
+
+        Raises:
+            RuntimeError: on a system that has already power-crashed —
+                there is no machine left for a process to crash on.
         """
+        if self._crashed:
+            raise RuntimeError(
+                "system already crashed: no process is left to app-crash"
+            )
         if policy is AppCrashPolicy.DRAIN_ALL:
             entries = self.secpb.drain_all()
         else:
@@ -189,9 +299,16 @@ class SecurePersistentSystem:
     # Recovery -------------------------------------------------------------
 
     def recover(self) -> RecoveryReport:
-        """Run the recovery observer over every persisted block."""
+        """Run the recovery observer over every persisted block.
+
+        After a brownout crash the observer is told which blocks the
+        battery failed to persist, so its report grades PARTIAL (all
+        failures attributable to the declared losses) rather than FAILED.
+        """
         gap_open = self.secpb.occupancy > 0
-        return self.observer.observe(self.expected, gap_open=gap_open)
+        return self.observer.observe(
+            self.expected, gap_open=gap_open, unpersisted=self._unpersisted
+        )
 
 
 class GappedPersistentSystem:

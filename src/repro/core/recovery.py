@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import List, Mapping
+from typing import Collection, List, Mapping
 
 from ..security.engine import RecoveryStatus, SecureMemory
 
@@ -27,6 +27,22 @@ class ObserverPolicy(enum.Enum):
 
     BLOCKING = "blocking"
     WARNING = "warning"
+
+
+class RecoveryVerdict(enum.Enum):
+    """Aggregate outcome classification of one recovery pass.
+
+    ``PARTIAL`` is the graceful-degradation verdict: the battery browned
+    out mid-drain, the system *knows* which blocks never persisted, and
+    every observed failure is attributable to exactly those blocks.  A
+    failure outside the declared unpersisted set — or an inconsistent
+    read — is ``FAILED``: either the recoverability guarantee broke or
+    an adversary tampered with persistent state.
+    """
+
+    OK = "ok"
+    PARTIAL = "partial"
+    FAILED = "failed"
 
 
 class RecoveryBlocked(Exception):
@@ -50,10 +66,14 @@ class RecoveryReport:
         verdicts: per-block results.
         consistent_at_read: False when the warning policy let the observer
             read before the sec-sync gap closed.
+        unpersisted_blocks: blocks the crash machinery *declared* lost
+            before the pass ran (battery brownout) — failures confined to
+            these blocks downgrade the verdict to PARTIAL, not FAILED.
     """
 
     verdicts: List[BlockVerdict] = field(default_factory=list)
     consistent_at_read: bool = True
+    unpersisted_blocks: List[int] = field(default_factory=list)
 
     @property
     def blocks_checked(self) -> int:
@@ -69,8 +89,29 @@ class RecoveryReport:
 
     @property
     def ok(self) -> bool:
-        """True when recovery fully succeeded on consistent state."""
-        return self.consistent_at_read and not self.failures
+        """True when recovery fully succeeded on consistent, complete state.
+
+        A brownout pass is never ``ok`` — even if every surviving block
+        verifies, declared-unpersisted blocks mean the recoverability
+        guarantee did not hold for this crash.
+        """
+        return (
+            self.consistent_at_read
+            and not self.failures
+            and not self.unpersisted_blocks
+        )
+
+    @property
+    def verdict(self) -> RecoveryVerdict:
+        """OK / PARTIAL / FAILED classification (see RecoveryVerdict)."""
+        if self.ok:
+            return RecoveryVerdict.OK
+        if not self.consistent_at_read:
+            return RecoveryVerdict.FAILED
+        lost = set(self.unpersisted_blocks)
+        if lost and all(v.block_addr in lost for v in self.failures):
+            return RecoveryVerdict.PARTIAL
+        return RecoveryVerdict.FAILED
 
     def failure_summary(self) -> str:
         """Human-readable digest of what went wrong (empty when ok)."""
@@ -79,6 +120,16 @@ class RecoveryReport:
         lines = []
         if not self.consistent_at_read:
             lines.append("observed state before crash consistency was reached")
+        if self.unpersisted_blocks:
+            shown = ", ".join(
+                f"{b:#x}" for b in self.unpersisted_blocks[:8]
+            )
+            more = len(self.unpersisted_blocks) - 8
+            suffix = f" (+{more} more)" if more > 0 else ""
+            lines.append(
+                f"battery brownout left {len(self.unpersisted_blocks)} "
+                f"block(s) unpersisted: {shown}{suffix}"
+            )
         for verdict in self.failures[:10]:
             reason = (
                 verdict.status.value
@@ -112,6 +163,7 @@ class RecoveryObserver:
         self,
         expected: Mapping[int, bytes],
         gap_open: bool = False,
+        unpersisted: Collection[int] = (),
     ) -> RecoveryReport:
         """Examine persistent state and compare against expected plaintexts.
 
@@ -120,6 +172,9 @@ class RecoveryObserver:
                 must be recoverable (every store that reached the PoP).
             gap_open: True while the draining/sec-sync gaps are not yet
                 closed (the system passes this in).
+            unpersisted: blocks the crash machinery declared lost to a
+                battery brownout; failures confined to these blocks yield
+                a PARTIAL verdict instead of FAILED.
 
         Raises:
             RecoveryBlocked: blocking policy and ``gap_open``.
@@ -132,6 +187,7 @@ class RecoveryObserver:
             report = RecoveryReport(consistent_at_read=False)
         else:
             report = RecoveryReport()
+        report.unpersisted_blocks = sorted(unpersisted)
 
         for block_addr in sorted(expected):
             recovered = self.memory.recover_block(block_addr)

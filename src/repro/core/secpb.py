@@ -324,3 +324,17 @@ class SecPB:
     def remove(self, block_addr: int) -> Optional[SecPBEntry]:
         """Remove one entry (coherence migration/flush path)."""
         return self._entries.pop(block_addr, None)
+
+    def discard_remaining(self) -> List[SecPBEntry]:
+        """Drop every resident entry WITHOUT draining it (battery death).
+
+        The SecPB is battery-backed SRAM: when the crash battery browns
+        out mid-drain, whatever is still resident is simply gone.  Unlike
+        :meth:`drain_all` this counts no drains and produces no
+        :class:`DrainedEntry` objects — the returned entries were *lost*,
+        and the caller records their blocks as unpersisted.
+        """
+        lost = list(self._entries.values())
+        self._entries.clear()
+        self.stats.add("secpb.brownout_losses", len(lost))
+        return lost

@@ -16,6 +16,7 @@ from .battery import (
     estimate_bbb,
     estimate_scheme,
     full_tuple_energy,
+    per_entry_drain_energy_nj,
     secpb_drain_energy_nj,
     size_sweep,
 )
@@ -49,6 +50,7 @@ __all__ = [
     "estimate_scheme",
     "footprint_ratio_pct",
     "full_tuple_energy",
+    "per_entry_drain_energy_nj",
     "secpb_drain_energy_nj",
     "size_sweep",
 ]

@@ -107,6 +107,25 @@ def full_tuple_energy(costs: EnergyCosts, bmt_levels: int) -> float:
     )
 
 
+def per_entry_drain_energy_nj(
+    scheme: Scheme,
+    config: Optional[SystemConfig] = None,
+    costs: Optional[EnergyCosts] = None,
+) -> float:
+    """Worst-case battery energy to drain ONE SecPB entry (nJ).
+
+    Field moves plus the scheme's late-step work for a single entry —
+    the unit the brownout model in :mod:`repro.core.crash` charges per
+    drained entry when a crash runs on a finite energy budget.
+    """
+    config = config if config is not None else SystemConfig()
+    costs = costs if costs is not None else EnergyCosts()
+    levels = config.security.bmt_levels
+    return entry_field_moves(scheme, costs) + entry_late_work(
+        scheme, costs, levels
+    )
+
+
 def secpb_drain_energy_nj(
     scheme: Scheme,
     config: Optional[SystemConfig] = None,
@@ -125,9 +144,7 @@ def secpb_drain_energy_nj(
     config = config if config is not None else SystemConfig()
     costs = costs if costs is not None else EnergyCosts()
     levels = config.security.bmt_levels
-    per_entry = entry_field_moves(scheme, costs) + entry_late_work(
-        scheme, costs, levels
-    )
+    per_entry = per_entry_drain_energy_nj(scheme, config, costs)
     total = config.secpb.entries * per_entry
     total += pending_updates * full_tuple_energy(costs, levels)
     return total

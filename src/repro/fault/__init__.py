@@ -1,0 +1,63 @@
+"""Fault-injection campaign subsystem.
+
+Everything in the paper's Sec. III argument is a claim about *crashes*:
+whatever instant power dies, whatever process aborts, whatever an
+adversary does to persistent memory afterwards, recovery must either
+reproduce every persisted store or detect — and attribute — why it
+cannot.  This package turns those claims into a seeded, deterministic
+adversarial campaign over the functional crash machinery
+(:mod:`repro.core.crash`):
+
+* :mod:`~repro.fault.cases` — pure-data :class:`FaultCase` descriptions
+  (picklable, replayable) and the deterministic workload generator;
+* :mod:`~repro.fault.inject` — post-crash tamper primitives (ciphertext,
+  counter, MAC, BMT, splice) with their expected attribution and blast
+  radius;
+* :mod:`~repro.fault.campaign` — campaign construction, execution on the
+  hardened parallel runner, and the campaign report;
+* :mod:`~repro.fault.minimize` — shrinking a failing case to a minimal
+  reproducer and (de)serializing it as replayable JSON.
+
+Determinism contract: every case carries its own seed, all sampling uses
+``random.Random`` instances derived from it, and iteration is over
+sorted collections — a campaign's outcome is a pure function of its
+:class:`CampaignSpec`.
+"""
+
+from .campaign import (
+    CampaignReport,
+    CampaignSpec,
+    build_cases,
+    execute_case,
+    run_campaign,
+)
+from .cases import CaseResult, FaultCase, TamperSpec, generate_workload
+from .inject import Injection, inject_tamper
+from .minimize import (
+    case_from_dict,
+    case_to_dict,
+    load_reproducer,
+    minimize_case,
+    replay_reproducer,
+    save_reproducer,
+)
+
+__all__ = [
+    "CampaignReport",
+    "CampaignSpec",
+    "CaseResult",
+    "FaultCase",
+    "Injection",
+    "TamperSpec",
+    "build_cases",
+    "case_from_dict",
+    "case_to_dict",
+    "execute_case",
+    "generate_workload",
+    "inject_tamper",
+    "load_reproducer",
+    "minimize_case",
+    "replay_reproducer",
+    "run_campaign",
+    "save_reproducer",
+]

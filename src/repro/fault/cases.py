@@ -1,0 +1,158 @@
+"""Fault cases: pure-data descriptions of one adversarial crash scenario.
+
+A :class:`FaultCase` is frozen, picklable data — it crosses the process
+pool untouched and round-trips through JSON (see
+:mod:`repro.fault.minimize`), so a failing case found on one machine
+replays bit-identically on another.  The workload it implies is a pure
+function of its fields: :func:`generate_workload` derives every address,
+payload, and ASID from ``random.Random(seed)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from random import Random
+from typing import List, Optional, Tuple
+
+#: Block-address space the workload draws from: 4 counter pages (64
+#: blocks each), so page-scoped faults (counter, BMT) have neighbours to
+#: hit and page-boundary behavior is exercised.
+ADDRESS_SPACE_BLOCKS = 256
+
+CRASH_SYSTEM = "system"
+CRASH_APP = "app"
+CRASH_GAPPED = "gapped"
+CRASH_KINDS = (CRASH_SYSTEM, CRASH_APP, CRASH_GAPPED)
+
+TAMPER_TARGETS = ("ciphertext", "counter", "mac", "bmt", "swap")
+
+
+@dataclass(frozen=True)
+class TamperSpec:
+    """One post-crash adversarial mutation of persistent state.
+
+    Attributes:
+        target: which durable metadata home to corrupt — one of
+            :data:`TAMPER_TARGETS`.
+        bit: which bit to flip (interpreted modulo the target's width).
+        prefer_late: pick the victim block among those the *battery*
+            persisted during the crash drain (late-step artifacts the
+            sec-sync just wrote) rather than any persisted block.
+    """
+
+    target: str
+    bit: int = 0
+    prefer_late: bool = False
+
+    def __post_init__(self) -> None:
+        if self.target not in TAMPER_TARGETS:
+            raise ValueError(
+                f"unknown tamper target {self.target!r}; "
+                f"expected one of {TAMPER_TARGETS}"
+            )
+
+
+@dataclass(frozen=True)
+class FaultCase:
+    """One deterministic crash/fault scenario.
+
+    Attributes:
+        case_id: unique, human-readable identity (the runner key).
+        scheme: SecPB scheme name, or ``"gapped"`` for the Fig. 1(b)
+            baseline.
+        crash_kind: ``"system"`` (power loss), ``"app"`` (process crash,
+            machine stays up), or ``"gapped"`` (baseline power loss).
+        policy: app-crash drain policy (``"drain-all"`` or
+            ``"drain-process"``); ignored for other kinds.
+        seed: workload seed — fully determines stores and tamper choices.
+        num_stores: total stores in the workload.
+        crash_index: how many stores execute before the crash hits
+            (1 <= crash_index <= num_stores).
+        working_set: distinct block addresses in the workload.
+        num_asids: processes issuing interleaved stores.
+        victim_asid: the process that app-crashes.
+        brownout_frac: battery energy as a fraction of what a full drain
+            of the SecPB occupancy at crash time would need; ``None`` is
+            the paper's always-sufficient battery.  Any fraction < 1.0
+            with a non-empty SecPB forces a PARTIAL crash.
+        tamper: optional post-crash adversarial mutation.
+    """
+
+    case_id: str
+    scheme: str
+    crash_kind: str
+    policy: str = "drain-all"
+    seed: int = 0
+    num_stores: int = 60
+    crash_index: int = 30
+    working_set: int = 48
+    num_asids: int = 4
+    victim_asid: int = 0
+    brownout_frac: Optional[float] = None
+    tamper: Optional[TamperSpec] = None
+
+    def __post_init__(self) -> None:
+        if self.crash_kind not in CRASH_KINDS:
+            raise ValueError(
+                f"unknown crash kind {self.crash_kind!r}; "
+                f"expected one of {CRASH_KINDS}"
+            )
+        if not 1 <= self.crash_index <= self.num_stores:
+            raise ValueError(
+                f"crash_index {self.crash_index} outside "
+                f"[1, {self.num_stores}]"
+            )
+        if not 1 <= self.working_set <= ADDRESS_SPACE_BLOCKS:
+            raise ValueError(
+                f"working_set {self.working_set} outside "
+                f"[1, {ADDRESS_SPACE_BLOCKS}]"
+            )
+        if self.num_asids < 1:
+            raise ValueError("num_asids must be at least 1")
+        if self.brownout_frac is not None and self.tamper is not None:
+            raise ValueError(
+                "a case combines at most one fault: brownout or tamper"
+            )
+        if self.brownout_frac is not None and not 0.0 <= self.brownout_frac < 1.0:
+            raise ValueError("brownout_frac must be in [0, 1)")
+
+    @property
+    def key(self) -> str:
+        """Stable identity for the parallel runner's result mapping."""
+        return self.case_id
+
+
+@dataclass(frozen=True)
+class CaseResult:
+    """Outcome of executing one :class:`FaultCase` (picklable).
+
+    ``expected`` names the guarantee the case checks (e.g.
+    ``"recover-ok"``, ``"gap-detected"``, ``"tamper:mac"``);
+    ``observed`` is what actually happened; ``passed`` is their match.
+    """
+
+    case_id: str
+    scheme: str
+    crash_kind: str
+    passed: bool
+    expected: str
+    observed: str
+    detail: str = ""
+
+
+def generate_workload(case: FaultCase) -> List[Tuple[int, bytes, int]]:
+    """The case's store stream: ``[(block_addr, payload, asid), ...]``.
+
+    Deterministic in ``case.seed`` and the workload-shape fields.  Block
+    addresses are drawn from a ``working_set``-sized subset of the
+    4-page address space; each block is owned by one ASID
+    (``addr % num_asids``), so the drain-process policy has disjoint
+    per-process footprints while the store *stream* interleaves ASIDs.
+    """
+    rng = Random(case.seed)
+    addrs = sorted(rng.sample(range(ADDRESS_SPACE_BLOCKS), case.working_set))
+    stores = []
+    for _ in range(case.num_stores):
+        addr = addrs[rng.randrange(len(addrs))]
+        stores.append((addr, rng.randbytes(64), addr % case.num_asids))
+    return stores

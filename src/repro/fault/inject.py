@@ -1,0 +1,152 @@
+"""Post-crash tamper injection with expected attribution and blast radius.
+
+Each injection mutates exactly one durable metadata home of a
+:class:`~repro.security.engine.SecureMemory` *after* the crash drain has
+completed — modelling a physical adversary with access to PM while the
+machine is down — and returns the oracle the campaign checks recovery
+against: which :class:`~repro.security.engine.RecoveryStatus` the fault
+must be attributed to, and exactly which persisted blocks it may affect
+(the *blast radius*):
+
+========== ============================= ==============================
+target     expected status               blast radius
+========== ============================= ==============================
+ciphertext MAC_FAILURE                   the target block only
+mac        MAC_FAILURE                   the target block only
+swap       MAC_FAILURE                   the spliced-onto block only
+counter    COUNTER_INTEGRITY_FAILURE     every persisted block in the
+                                         target's counter page
+bmt        BMT_FAILURE                   every persisted block whose
+                                         page shares the corrupted
+                                         sibling's leaf group (except
+                                         the sibling page itself, whose
+                                         digest is recomputed from its
+                                         intact payload)
+========== ============================= ==============================
+
+A detection is only *correct* when every failing block is inside the
+blast radius with the expected status, every blast-radius block fails,
+and every other block recovers cleanly — recovery must not just notice
+corruption, it must blame the right component at the right scope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from random import Random
+from typing import Collection, FrozenSet
+
+from ..security.counters import MINOR_COUNTERS_PER_PAGE
+from ..security.engine import RecoveryStatus, SecureMemory
+from .cases import TamperSpec
+
+
+@dataclass(frozen=True)
+class Injection:
+    """What was injected and what recovery must report for it."""
+
+    target: str
+    block_addr: int
+    expected_status: RecoveryStatus
+    blast_radius: FrozenSet[int]
+
+    def describe(self) -> str:
+        return (
+            f"{self.target} fault at block {self.block_addr:#x} "
+            f"(expect {self.expected_status.value} on "
+            f"{len(self.blast_radius)} block(s))"
+        )
+
+
+def _page_of(block_addr: int) -> int:
+    return block_addr // MINOR_COUNTERS_PER_PAGE
+
+
+def inject_tamper(
+    memory: SecureMemory,
+    spec: TamperSpec,
+    rng: Random,
+    persisted: Collection[int],
+    late_persisted: Collection[int] = (),
+) -> Injection:
+    """Apply ``spec`` to ``memory`` and return the attribution oracle.
+
+    Args:
+        memory: the post-crash durable state to corrupt.
+        spec: what to corrupt and which bit to flip.
+        rng: seeded source for victim selection (deterministic given the
+            case seed).
+        persisted: every block address recovery will examine.
+        late_persisted: the subset the battery drained during the crash
+            (sec-sync artifacts); with ``spec.prefer_late`` the victim is
+            drawn from here when non-empty.
+
+    Raises:
+        ValueError: when ``persisted`` is empty (nothing to corrupt).
+    """
+    persisted_sorted = sorted(persisted)
+    if not persisted_sorted:
+        raise ValueError("cannot inject a tamper fault: no persisted blocks")
+    pool = sorted(late_persisted) if (spec.prefer_late and late_persisted) else persisted_sorted
+    target = pool[rng.randrange(len(pool))]
+    all_blocks = frozenset(persisted_sorted)
+
+    if spec.target == "ciphertext":
+        memory.flip_ciphertext_bit(target, spec.bit)
+        return Injection(
+            "ciphertext", target, RecoveryStatus.MAC_FAILURE,
+            frozenset({target}),
+        )
+
+    if spec.target == "mac":
+        memory.flip_mac_bit(target, spec.bit)
+        return Injection(
+            "mac", target, RecoveryStatus.MAC_FAILURE, frozenset({target})
+        )
+
+    if spec.target == "swap":
+        donors = [b for b in persisted_sorted if b != target]
+        if not donors:
+            # A one-block workload has nothing to splice from; degrade to
+            # a ciphertext flip, which checks the same MAC attribution.
+            memory.flip_ciphertext_bit(target, spec.bit)
+            return Injection(
+                "ciphertext", target, RecoveryStatus.MAC_FAILURE,
+                frozenset({target}),
+            )
+        donor = donors[rng.randrange(len(donors))]
+        memory.splice_data(donor, target)
+        return Injection(
+            "swap", target, RecoveryStatus.MAC_FAILURE, frozenset({target})
+        )
+
+    if spec.target == "counter":
+        page = _page_of(target)
+        memory.flip_counter_bit(
+            page, target % MINOR_COUNTERS_PER_PAGE, spec.bit
+        )
+        blast = frozenset(b for b in all_blocks if _page_of(b) == page)
+        return Injection(
+            "counter", target, RecoveryStatus.COUNTER_INTEGRITY_FAILURE, blast
+        )
+
+    if spec.target == "bmt":
+        page = _page_of(target)
+        memory.corrupt_bmt_sibling(page, spec.bit)
+        # Mirror the sibling choice corrupt_bmt_sibling makes so the
+        # blast radius excludes the sibling page (its own digest is
+        # recomputed from the intact counter payload during verify).
+        arity = memory.engine.bmt.arity
+        group_base = (page // arity) * arity
+        sibling = group_base if page != group_base else group_base + 1
+        blast = frozenset(
+            b
+            for b in all_blocks
+            if _page_of(b) // arity == page // arity
+            and _page_of(b) != sibling
+        )
+        return Injection(
+            "bmt", target, RecoveryStatus.BMT_FAILURE, blast
+        )
+
+    raise ValueError(f"unknown tamper target {spec.target!r}")

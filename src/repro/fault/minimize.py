@@ -1,0 +1,160 @@
+"""Failing-case minimization and replayable JSON reproducers.
+
+When a campaign case fails, the raw scenario is large (dozens of stores,
+four processes, a mid-stream crash).  :func:`minimize_case` shrinks it
+greedily — fewer stores, earlier crash, one process, smaller working set
+— re-executing each candidate and keeping it only while the failure
+still reproduces (same ``expected`` grade, still failing).  The result
+round-trips through :func:`save_reproducer` / :func:`load_reproducer` as
+a small JSON file, and :func:`replay_reproducer` re-runs it from disk —
+so a failure found in a 200-case parallel campaign becomes a one-file,
+one-command, deterministic bug report.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple, Union
+
+from .cases import CaseResult, FaultCase, TamperSpec
+
+#: Reproducer file-format version (bump on incompatible field changes).
+REPRODUCER_VERSION = 1
+
+#: Upper bound on candidate re-executions during one minimization.
+_MAX_SHRINK_ATTEMPTS = 64
+
+
+def _safe_execute(case: FaultCase) -> CaseResult:
+    """Execute a candidate, folding a raised exception into a failed grade.
+
+    Minimization probes candidate cases that may be degenerate in ways
+    the campaign never produces; a candidate that *raises* is reported
+    as a distinct failed outcome (``observed="error: ..."``) rather than
+    aborting the shrink — it never silently disappears.
+    """
+    from .campaign import execute_case  # lazy: campaign imports this module
+
+    try:
+        return execute_case(case)
+    except Exception as exc:  # noqa: BLE001 - folded into the grade
+        return CaseResult(
+            case_id=case.case_id,
+            scheme=case.scheme,
+            crash_kind=case.crash_kind,
+            passed=False,
+            expected="no-exception",
+            observed=f"error: {type(exc).__name__}: {exc}",
+        )
+
+
+def _reproduces(candidate: FaultCase, reference: CaseResult) -> Optional[CaseResult]:
+    """The candidate's result when it still shows the reference failure."""
+    result = _safe_execute(candidate)
+    if not result.passed and result.expected == reference.expected:
+        return result
+    return None
+
+
+def minimize_case(case: FaultCase) -> Tuple[FaultCase, CaseResult]:
+    """Greedily shrink a failing case; returns (minimal case, its result).
+
+    Deterministic and bounded: every probe re-executes the candidate
+    from scratch (at most :data:`_MAX_SHRINK_ATTEMPTS` times), and a
+    shrink step is kept only if the same failure grade still reproduces.
+    If ``case`` does not fail at all, it is returned unchanged with its
+    (passing) result.
+    """
+    reference = _safe_execute(case)
+    if reference.passed:
+        return case, reference
+    best, best_result = case, reference
+    attempts = 0
+
+    def try_shrink(**changes: Any) -> bool:
+        nonlocal best, best_result, attempts
+        if attempts >= _MAX_SHRINK_ATTEMPTS:
+            return False
+        attempts += 1
+        try:
+            candidate = dataclasses.replace(best, **changes)
+        except ValueError:
+            return False  # shrink produced an invalid case shape
+        result = _reproduces(candidate, reference)
+        if result is None:
+            return False
+        best, best_result = candidate, result
+        return True
+
+    # Drop the post-crash tail: stores after the crash only matter for
+    # app-crash cases, and even there a shorter tail often reproduces.
+    while best.num_stores > best.crash_index and try_shrink(
+        num_stores=max(best.crash_index, best.num_stores // 2)
+    ):
+        pass
+    # Crash earlier (halving), which also truncates the prefix workload.
+    while best.crash_index > 1 and try_shrink(
+        crash_index=best.crash_index // 2,
+        num_stores=max(best.num_stores // 2, best.crash_index // 2, 1),
+    ):
+        pass
+    # Collapse to a single process, then a smaller working set.
+    if best.num_asids > 1:
+        try_shrink(num_asids=1, victim_asid=0)
+    while best.working_set > 1 and try_shrink(
+        working_set=max(1, best.working_set // 2)
+    ):
+        pass
+    return best, best_result
+
+
+# JSON round-trip -----------------------------------------------------------
+
+
+def case_to_dict(case: FaultCase) -> Dict[str, Any]:
+    """Pure-JSON form of a case (see :data:`REPRODUCER_VERSION`)."""
+    payload = dataclasses.asdict(case)
+    payload["version"] = REPRODUCER_VERSION
+    return payload
+
+
+def case_from_dict(payload: Dict[str, Any]) -> FaultCase:
+    """Rebuild a case from :func:`case_to_dict` output.
+
+    Raises:
+        ValueError: on an unknown reproducer version or malformed fields.
+    """
+    data = dict(payload)
+    version = data.pop("version", REPRODUCER_VERSION)
+    if version != REPRODUCER_VERSION:
+        raise ValueError(
+            f"unsupported reproducer version {version!r} "
+            f"(this build reads version {REPRODUCER_VERSION})"
+        )
+    tamper = data.get("tamper")
+    if tamper is not None:
+        data["tamper"] = TamperSpec(**tamper)
+    return FaultCase(**data)
+
+
+def save_reproducer(case: FaultCase, path: Union[str, Path]) -> Path:
+    """Write a replayable JSON reproducer; returns the path written."""
+    path = Path(path)
+    path.write_text(
+        json.dumps(case_to_dict(case), indent=2, sort_keys=True) + "\n"
+    )
+    return path
+
+
+def load_reproducer(path: Union[str, Path]) -> FaultCase:
+    """Read a case back from a :func:`save_reproducer` file."""
+    return case_from_dict(json.loads(Path(path).read_text()))
+
+
+def replay_reproducer(path: Union[str, Path]) -> CaseResult:
+    """Load and re-execute a saved reproducer (deterministic replay)."""
+    from .campaign import execute_case  # lazy: campaign imports this module
+
+    return execute_case(load_reproducer(path))

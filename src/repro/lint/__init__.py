@@ -15,7 +15,10 @@ and the paper artifacts' reproducibility — actually rest on:
   StatsCollector protocol (add/snapshot/subtract) introduced with the
   warmup-contamination fix;
 * **pool safety** (SPB401-403): everything submitted through
-  ``repro.analysis.runner`` must be statically picklable.
+  ``repro.analysis.runner`` must be statically picklable;
+* **robustness** (SPB501): crash/recovery/fault code must not swallow
+  exceptions (``except ...: pass``) or use unseeded randomness —
+  campaign failures must stay loud and reproducers replayable.
 
 Use :func:`lint_paths` / :func:`lint_source` programmatically, or the
 ``repro lint`` CLI (``python -m repro.lint``).  Rules support per-line
@@ -26,7 +29,13 @@ Use :func:`lint_paths` / :func:`lint_source` programmatically, or the
 from __future__ import annotations
 
 # Importing the rule modules registers their rules.
-from . import determinism, pool_safety, scheme_invariants, stats_hygiene  # noqa: F401
+from . import (  # noqa: F401
+    determinism,
+    pool_safety,
+    robustness,
+    scheme_invariants,
+    stats_hygiene,
+)
 from .base import (
     DETERMINISM_SCOPES,
     LintContext,

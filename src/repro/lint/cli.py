@@ -13,7 +13,13 @@ from pathlib import Path
 from typing import List, Optional, Sequence
 
 # Importing the rule modules populates the registry before any lint run.
-from . import determinism, pool_safety, scheme_invariants, stats_hygiene  # noqa: F401
+from . import (  # noqa: F401
+    determinism,
+    pool_safety,
+    robustness,
+    scheme_invariants,
+    stats_hygiene,
+)
 from .base import all_rules, lint_paths, select_rules
 from .findings import findings_to_json
 

@@ -28,7 +28,7 @@ from .findings import Finding
 
 _JOB_CONSTRUCTORS = {"SimJob", "SimSpec"}
 _POOL_SUBMIT_METHODS = {"submit", "map", "imap", "imap_unordered", "apply_async"}
-_POOL_SUBMIT_FUNCTIONS = {"run_jobs"}
+_POOL_SUBMIT_FUNCTIONS = {"run_jobs", "run_tasks"}
 
 
 def _call_name(node: ast.Call) -> str:

@@ -1,0 +1,103 @@
+"""Robustness lint (SPB501) for the crash/recovery/fault machinery.
+
+The fault-injection campaign's whole value is that a failure is *loud*
+and *replayable*.  Two coding patterns silently destroy that:
+
+* a swallowed exception (``except ...: pass``) turns a broken recovery
+  path into a phantom "pass" — the campaign grades state that was never
+  actually checked;
+* unseeded randomness makes a failing case non-replayable: the minimized
+  JSON reproducer would execute a *different* scenario on replay.
+
+========  ==========================================================
+SPB501    in ``repro.core.crash`` / ``repro.core.recovery`` /
+          ``repro.fault``: an ``except`` handler whose body is only
+          ``pass`` / ``...``, or unseeded randomness (global
+          ``random.*`` calls, ``random.Random()`` / ``default_rng()``
+          without a seed)
+========  ==========================================================
+
+The determinism family (SPB101+) already polices ``repro.core``; this
+rule extends the RNG discipline to ``repro.fault`` (which is *not* part
+of the simulated machine) and adds the exception-swallowing check that
+no other family covers.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Tuple
+
+from .base import LintContext, Rule, in_scope, register_rule
+from .determinism import _ImportMap
+from .findings import Finding
+
+ROBUSTNESS_SCOPES: Tuple[str, ...] = (
+    "repro.core.crash",
+    "repro.core.recovery",
+    "repro.fault",
+)
+"""Modules whose failures must stay loud and replayable."""
+
+
+def _handler_only_passes(handler: ast.ExceptHandler) -> bool:
+    """True when the handler body does nothing at all."""
+    for stmt in handler.body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            continue  # docstring or bare `...`
+        return False
+    return True
+
+
+@register_rule
+class RobustnessRule(Rule):
+    code = "SPB501"
+    summary = (
+        "crash/recovery/fault code must not swallow exceptions "
+        "(`except ...: pass`) or use unseeded randomness — failures "
+        "must stay loud and reproducers replayable"
+    )
+
+    def applies_to(self, ctx: LintContext) -> bool:
+        return in_scope(ctx.module, ROBUSTNESS_SCOPES)
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        imports = _ImportMap(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ExceptHandler):
+                if _handler_only_passes(node):
+                    caught = (
+                        ast.unparse(node.type) if node.type else "everything"
+                    )
+                    yield ctx.finding(
+                        self,
+                        node,
+                        f"exception handler for {caught} swallows the error "
+                        "(body is only pass): a broken crash/recovery path "
+                        "must surface as a failure record, never vanish",
+                    )
+            elif isinstance(node, ast.Call):
+                resolved = imports.resolve_call(node.func)
+                if resolved is None:
+                    continue
+                module, fn = resolved
+                if module == "random":
+                    if fn == "Random" and node.args:
+                        continue  # random.Random(seed) is the sanctioned form
+                    yield ctx.finding(
+                        self,
+                        node,
+                        f"call to random.{fn} without a seed: fault cases "
+                        "must be pure functions of their seed or the "
+                        "minimized JSON reproducer will not replay",
+                    )
+                elif module in ("numpy.random", "np.random"):
+                    if fn == "default_rng" and not node.args:
+                        yield ctx.finding(
+                            self,
+                            node,
+                            "numpy.random.default_rng() without a seed is "
+                            "entropy-seeded; derive it from the case seed",
+                        )

@@ -154,6 +154,18 @@ class BonsaiMerkleTree:
             index = parent_index
         return digest == self._root
 
+    def leaf_digest_matches(self, leaf_index: int, leaf_payload: bytes) -> bool:
+        """True when ``leaf_payload`` hashes to the *stored* leaf digest.
+
+        Used by the recovery observer to attribute a failed
+        :meth:`verify_leaf`: when the payload still matches the digest the
+        tree recorded at update time, the counter block itself is intact
+        and the corruption sits in an interior node (or the root register);
+        when it does not match, the counter block was tampered or replayed.
+        """
+        stored = self._nodes.get((0, leaf_index))
+        return stored is not None and stored == self._leaf_digest(leaf_payload)
+
     # Crash checkpointing -------------------------------------------------
 
     def snapshot(self) -> Tuple[Dict[Tuple[int, int], bytes], bytes]:
@@ -168,3 +180,17 @@ class BonsaiMerkleTree:
     def corrupt_root(self, new_root: bytes) -> None:
         """Adversarial root overwrite (only for attack-model tests)."""
         self._root = new_root
+
+    def corrupt_node(self, level: int, index: int, new_digest: bytes) -> None:
+        """Adversarially overwrite one stored node digest.
+
+        Models a physical attacker flipping bits in the PM-resident part
+        of the tree (interior nodes and leaf digests live in PM; only the
+        root register is on-chip).  The write bypasses all accounting.
+        """
+        if not 0 <= level < self.height:
+            raise IndexError(
+                f"level {level} is not PM-resident in a tree of height "
+                f"{self.height} (the root register cannot be overwritten)"
+            )
+        self._nodes[(level, index)] = bytes(new_digest)

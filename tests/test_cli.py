@@ -115,3 +115,67 @@ class TestLintCommand:
         bad.write_text("jobs = run_jobs((i for i in range(3)))\n")
         assert main(["lint", str(bad), "--select", "SPB403"]) == 1
         assert "SPB403" in capsys.readouterr().out
+
+    def test_lint_lists_robustness_rule(self, capsys):
+        from repro.cli import main
+
+        assert main(["lint", "--list-rules"]) == 0
+        assert "SPB501" in capsys.readouterr().out
+
+
+class TestFaultCampaignCommand:
+    def test_small_campaign_passes(self, capsys):
+        code = main(
+            [
+                "faultcampaign",
+                "--schemes", "cobcm",
+                "--crash-points", "1",
+                "--num-stores", "20",
+                "--no-minimize",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "0 failed" in out
+        assert "cobcm" in out
+
+    def test_unknown_scheme_fails_fast(self):
+        with pytest.raises(KeyError, match="unknown scheme"):
+            main(["faultcampaign", "--schemes", "not-a-scheme"])
+
+    def test_save_report_json(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "report.json"
+        code = main(
+            [
+                "faultcampaign",
+                "--schemes", "nogap",
+                "--crash-points", "1",
+                "--num-stores", "20",
+                "--no-minimize",
+                "--save", str(path),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(path.read_text())
+        assert payload["failed"] == []
+        assert payload["total"] > 0
+
+    def test_replay_saved_reproducer(self, capsys, tmp_path):
+        from repro.fault import FaultCase, save_reproducer
+
+        case = FaultCase(
+            case_id="replay/demo",
+            scheme="cobcm",
+            crash_kind="system",
+            seed=3,
+            num_stores=20,
+            crash_index=10,
+            working_set=12,
+            num_asids=2,
+        )
+        path = save_reproducer(case, tmp_path / "case.json")
+        assert main(["faultcampaign", "--replay", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "PASS replay/demo" in out

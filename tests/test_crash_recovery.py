@@ -14,10 +14,11 @@ from hypothesis import strategies as st
 from repro.baselines.bbb import PlaintextPersistentSystem
 from repro.core.crash import (
     AppCrashPolicy,
+    CrashVerdict,
     GappedPersistentSystem,
     SecurePersistentSystem,
 )
-from repro.core.recovery import ObserverPolicy, RecoveryBlocked
+from repro.core.recovery import ObserverPolicy, RecoveryBlocked, RecoveryVerdict
 from repro.core.schemes import SPECTRUM_ORDER, get_scheme
 from repro.security.engine import RecoveryStatus
 
@@ -209,6 +210,145 @@ class TestAppCrashPolicies:
         system.app_crash(asid=1, policy=AppCrashPolicy.DRAIN_PROCESS)
         recovered = system.memory.recover_block(1)
         assert recovered.ok and recovered.plaintext == blk(1)
+
+
+class TestDoubleCrashGuard:
+    def test_second_system_crash_rejected(self):
+        system = SecurePersistentSystem(get_scheme("cobcm"))
+        system.store(1, blk(1))
+        system.crash()
+        with pytest.raises(RuntimeError, match="already crashed"):
+            system.crash()
+
+    def test_app_crash_after_system_crash_rejected(self):
+        system = SecurePersistentSystem(get_scheme("cobcm"))
+        system.store(1, blk(1), asid=1)
+        system.crash()
+        with pytest.raises(RuntimeError, match="already crashed"):
+            system.app_crash(asid=1)
+
+    def test_app_crash_then_system_crash_is_fine(self):
+        """An app crash leaves the machine up; only power loss is final."""
+        system = SecurePersistentSystem(get_scheme("cobcm"))
+        system.store(1, blk(1), asid=1)
+        system.app_crash(asid=1)
+        system.crash()
+        assert system.recover().ok
+
+
+class TestBatteryBrownout:
+    def test_zero_budget_loses_everything_resident(self):
+        system = SecurePersistentSystem(get_scheme("cobcm"))
+        for i in range(5):
+            system.store(i, blk(i))
+        report = system.crash(energy_budget_nj=0.0)
+        assert report.verdict is CrashVerdict.PARTIAL
+        assert report.entries_drained == 0
+        assert report.unpersisted_blocks == [0, 1, 2, 3, 4]
+        assert report.energy_spent_nj == 0.0
+
+    def test_partial_budget_drains_a_prefix(self):
+        """The battery drains oldest-first until the next entry would
+        overrun the budget; the rest is recorded, never silently dropped."""
+        system = SecurePersistentSystem(get_scheme("cobcm"))
+        for i in range(6):
+            system.store(i, blk(i))
+        report = system.crash(energy_budget_nj=2.5, per_entry_nj=1.0)
+        assert report.entries_drained == 2
+        assert report.unpersisted_blocks == [2, 3, 4, 5]
+        assert report.energy_spent_nj == pytest.approx(2.0)
+        assert report.energy_budget_nj == pytest.approx(2.5)
+
+    def test_brownout_recovery_grades_partial_not_failed(self):
+        system = SecurePersistentSystem(get_scheme("cobcm"))
+        for i in range(6):
+            system.store(i, blk(i))
+        system.crash(energy_budget_nj=2.5, per_entry_nj=1.0)
+        recovery = system.recover()
+        assert not recovery.ok
+        assert recovery.verdict is RecoveryVerdict.PARTIAL
+        failed = {v.block_addr for v in recovery.failures}
+        assert failed <= {2, 3, 4, 5}
+        # The drained prefix is still fully recoverable.
+        for addr in (0, 1):
+            assert system.memory.recover_block(addr).plaintext == blk(addr)
+
+    def test_sufficient_budget_is_complete(self):
+        system = SecurePersistentSystem(get_scheme("cobcm"))
+        for i in range(4):
+            system.store(i, blk(i))
+        report = system.crash(energy_budget_nj=100.0, per_entry_nj=1.0)
+        assert report.verdict is CrashVerdict.COMPLETE
+        assert report.unpersisted_blocks == []
+        assert system.recover().verdict is RecoveryVerdict.OK
+
+    def test_tamper_on_brownout_state_is_failed_not_partial(self):
+        """A failure OUTSIDE the declared-lost set must never hide behind
+        the PARTIAL grade."""
+        system = SecurePersistentSystem(get_scheme("cobcm"))
+        for i in range(6):
+            system.store(i, blk(i))
+        system.crash(energy_budget_nj=2.5, per_entry_nj=1.0)
+        system.memory.tamper_data(0, b"\xff" * 64)  # a *drained* block
+        recovery = system.recover()
+        assert recovery.verdict is RecoveryVerdict.FAILED
+
+    def test_default_per_entry_energy_comes_from_energy_model(self):
+        from repro.energy.battery import per_entry_drain_energy_nj
+
+        scheme = get_scheme("cobcm")
+        per_entry = per_entry_drain_energy_nj(scheme)
+        system = SecurePersistentSystem(scheme)
+        for i in range(4):
+            system.store(i, blk(i))
+        report = system.crash(energy_budget_nj=2.5 * per_entry)
+        assert report.entries_drained == 2
+        assert report.energy_spent_nj == pytest.approx(2 * per_entry)
+
+
+class TestDrainProcessAcrossSchemes:
+    """Satellite coverage: DRAIN_PROCESS app-crash recovery for every
+    scheme with interleaved multi-ASID store streams."""
+
+    @pytest.mark.parametrize("name", SPECTRUM_ORDER)
+    def test_drain_process_victim_durable_all_schemes(self, name):
+        system = SecurePersistentSystem(get_scheme(name))
+        num_asids = 3
+        latest = {}
+        # Interleaved stores: consecutive stores come from different ASIDs
+        # and blocks are owned by (addr % num_asids).
+        for i in range(90):
+            addr = (i * 7) % 30
+            payload = blk(i)
+            system.store(addr, payload, asid=addr % num_asids)
+            latest[addr] = payload
+        victim = 1
+        report = system.app_crash(
+            asid=victim, policy=AppCrashPolicy.DRAIN_PROCESS
+        )
+        assert report.invariants_ok, report.invariant_violation
+        # Every victim-owned block is durable and correct right now...
+        victim_blocks = [a for a in latest if a % num_asids == victim]
+        assert victim_blocks
+        for addr in victim_blocks:
+            recovered = system.memory.recover_block(addr)
+            assert recovered.ok, (name, addr, recovered.status)
+            assert recovered.plaintext == latest[addr]
+        # ...while survivors' entries stayed resident for coalescing.
+        assert all(
+            entry.asid != victim for entry in system.secpb.entries()
+        )
+        # The machine keeps running, then dies; everything recovers.
+        for i in range(90, 120):
+            addr = (i * 7) % 30
+            payload = blk(i)
+            system.store(addr, payload, asid=addr % num_asids)
+            latest[addr] = payload
+        system.crash()
+        recovery = system.recover()
+        assert recovery.ok, recovery.failure_summary()
+        for addr, payload in latest.items():
+            assert system.memory.recover_block(addr).plaintext == payload
 
 
 class TestObserverPolicies:

@@ -449,6 +449,112 @@ def test_spb403_generator_in_job():
     assert codes(findings) == ["SPB403"]
 
 
+# --- SPB501: crash/recovery/fault robustness -------------------------------
+
+FAULT_MODULE = "repro.fault.campaign"
+
+
+def lint_fault(source: str, **kwargs):
+    """Lint a snippet as if it lived inside the fault subsystem."""
+    return lint_source(
+        textwrap.dedent(source), "fixture.py", module=FAULT_MODULE, **kwargs
+    )
+
+
+def test_spb501_swallowed_exception():
+    findings = lint_fault(
+        """
+        def grade(case):
+            try:
+                return execute(case)
+            except ValueError:
+                pass
+        """
+    )
+    assert codes(findings) == ["SPB501"]
+
+
+def test_spb501_bare_except_pass():
+    findings = lint_fault(
+        """
+        def grade(case):
+            try:
+                return execute(case)
+            except Exception:
+                ...
+        """
+    )
+    assert codes(findings) == ["SPB501"]
+
+
+def test_spb501_handler_that_records_is_clean():
+    findings = lint_fault(
+        """
+        def grade(case, failures):
+            try:
+                return execute(case)
+            except ValueError as exc:
+                failures.append(exc)
+        """
+    )
+    assert findings == []
+
+
+def test_spb501_unseeded_global_random():
+    findings = lint_fault(
+        """
+        import random
+
+        def pick(blocks):
+            return random.choice(blocks)
+        """
+    )
+    assert codes(findings) == ["SPB501"]
+
+
+def test_spb501_unseeded_random_instance():
+    findings = lint_fault(
+        """
+        from random import Random
+
+        def pick():
+            return Random()
+        """
+    )
+    assert codes(findings) == ["SPB501"]
+
+
+def test_spb501_seeded_random_is_clean():
+    findings = lint_fault(
+        """
+        from random import Random
+
+        def pick(case):
+            return Random(case.seed)
+        """
+    )
+    assert findings == []
+
+
+def test_spb501_scoped_to_crash_recovery_fault():
+    source = """
+    def grade(case):
+        try:
+            return execute(case)
+        except ValueError:
+            pass
+    """
+    assert lint_fault(source)  # in scope
+    clean = lint_source(
+        textwrap.dedent(source), "fixture.py", module="repro.analysis.runner"
+    )
+    assert clean == []  # runner code may use its own error discipline
+    crash = lint_source(
+        textwrap.dedent(source), "fixture.py", module="repro.core.crash"
+    )
+    assert codes(crash) == ["SPB501"]
+
+
 # --- suppressions ---------------------------------------------------------
 
 
