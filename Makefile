@@ -27,11 +27,13 @@ lint:
 	fi
 
 # The CI entry point: static analysis, the tier-1 suite, the quick
-# parallel-runner smoke, and the fault-campaign smoke (mirrors
+# parallel-runner smoke, the fault-campaign smoke, and the resume smoke
+# (deadline checkpoint -> resume -> byte-identical report; mirrors
 # .github/workflows/ci.yml).
 ci: lint test
 	$(PYTHON) -m pytest benchmarks -m quick -q -p no:cacheprovider
 	$(PYTHON) -m repro faultcampaign --crash-points 2 --num-stores 40 --jobs 2
+	PYTHON="$(PYTHON)" sh tools/resume_smoke.sh
 
 smoke: test
 	$(PYTHON) -m pytest benchmarks -m quick -q -p no:cacheprovider

@@ -22,12 +22,20 @@ lists executed by :func:`~.runner.run_jobs` — pass ``jobs=N`` to fan the
 (benchmark, configuration) simulations across ``N`` worker processes.
 The reduction is keyed and ordered, so parallel output is bit-identical
 to serial.
+
+Timing experiments also accept ``runner_opts`` — a dict of extra keyword
+arguments forwarded verbatim to :func:`~.runner.run_jobs` (``completed``
+/ ``on_result`` / ``stop`` from :mod:`repro.durability`), which is how
+the CLI makes ``repro experiment --journal/--resume/--deadline`` work:
+journaled jobs are skipped, fresh results checkpoint as they land, and a
+tripped deadline raises
+:class:`~repro.durability.RunInterrupted` through the experiment.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Sequence
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
 
 from ..baselines.eadr import (
     PAPER_EFFECTIVE_BMT_OPS_PER_LINE,
@@ -93,6 +101,7 @@ def _run_overhead_study(
     paper: Mapping[str, float],
     warmup_frac: float = DEFAULT_WARMUP,
     jobs: int = 1,
+    runner_opts: Optional[Dict[str, Any]] = None,
 ) -> SchemeOverheads:
     """Shared sweep: BBB baseline + N secure configurations per benchmark."""
     baseline_spec = SimSpec(scheme=None, config=config, calibration=calibration)
@@ -119,7 +128,7 @@ def _run_overhead_study(
                     spec=spec,
                 )
             )
-    results = run_jobs(job_list, workers=jobs)
+    results = run_jobs(job_list, workers=jobs, **(runner_opts or {}))
     per_benchmark: Dict[str, Dict[str, float]] = {}
     mean: Dict[str, float] = {}
     for bench in benchmarks:
@@ -152,6 +161,7 @@ def run_table4(
     config: Optional[SystemConfig] = None,
     calibration: Optional[TimingCalibration] = None,
     jobs: int = 1,
+    runner_opts: Optional[Dict[str, Any]] = None,
 ) -> SchemeOverheads:
     """Table IV: mean slowdown of all six schemes, 32-entry SecPB."""
     config = config if config is not None else SystemConfig()
@@ -170,6 +180,7 @@ def run_table4(
         calibration,
         paper_values.TABLE4_SLOWDOWN_PCT,
         jobs=jobs,
+        runner_opts=runner_opts,
     )
 
 
@@ -180,13 +191,16 @@ def run_fig6(
     config: Optional[SystemConfig] = None,
     calibration: Optional[TimingCalibration] = None,
     jobs: int = 1,
+    runner_opts: Optional[Dict[str, Any]] = None,
 ) -> SchemeOverheads:
     """Fig. 6: per-benchmark execution time normalized to BBB.
 
     Same data as Table IV at per-benchmark granularity; the render method
     prints the full per-benchmark grid (the figure's series).
     """
-    result = run_table4(num_ops, seed, benchmarks, config, calibration, jobs)
+    result = run_table4(
+        num_ops, seed, benchmarks, config, calibration, jobs, runner_opts
+    )
     result.experiment = "fig6"
     return result
 
@@ -321,6 +335,7 @@ def run_fig7(
     benchmarks: Optional[Sequence[str]] = None,
     calibration: Optional[TimingCalibration] = None,
     jobs: int = 1,
+    runner_opts: Optional[Dict[str, Any]] = None,
 ) -> SizeSweepResult:
     """Fig. 7: execution time of various SecPB sizes under the CM model.
 
@@ -346,7 +361,7 @@ def run_fig7(
                         spec=spec,
                     )
                 )
-    results = run_jobs(job_list, workers=jobs)
+    results = run_jobs(job_list, workers=jobs, **(runner_opts or {}))
     overhead: Dict[int, float] = {}
     per_benchmark: Dict[str, Dict[int, float]] = {b: {} for b in benchmarks}
     bmt_pct: Dict[int, float] = {}
@@ -394,6 +409,7 @@ def run_fig8(
     config: Optional[SystemConfig] = None,
     calibration: Optional[TimingCalibration] = None,
     jobs: int = 1,
+    runner_opts: Optional[Dict[str, Any]] = None,
 ) -> BmtUpdatesResult:
     """Fig. 8: BMT root updates of each scheme vs sec_wt (one per store)."""
     config = config if config is not None else SystemConfig()
@@ -411,7 +427,7 @@ def run_fig8(
         for name in SPECTRUM_ORDER
         for bench in benchmarks
     ]
-    results = run_jobs(job_list, workers=jobs)
+    results = run_jobs(job_list, workers=jobs, **(runner_opts or {}))
     result: Dict[str, float] = {}
     for name in SPECTRUM_ORDER:
         total_stores = 0.0
@@ -433,6 +449,7 @@ def run_fig9(
     calibration: Optional[TimingCalibration] = None,
     root_cache_bytes: int = 4096,
     jobs: int = 1,
+    runner_opts: Optional[Dict[str, Any]] = None,
 ) -> SchemeOverheads:
     """Fig. 9: BMT-height study — CM and SP, each with DBMF/SBMF.
 
@@ -477,6 +494,7 @@ def run_fig9(
         calibration,
         paper_values.FIG9_OVERHEAD_PCT,
         jobs=jobs,
+        runner_opts=runner_opts,
     )
 
 

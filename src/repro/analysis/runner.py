@@ -26,6 +26,15 @@ unrecoverable" from "the worker blew up" and still salvage every other
 task's result.  A per-task timeout bounds how long the harvest waits on
 any one future.
 
+It is also **resumable** (:mod:`repro.durability`): ``completed`` seeds
+the run with journaled results (those tasks are never re-executed),
+``on_result`` fires as each fresh result lands (the journal-append
+hook), and a tripped ``stop`` token (SIGINT/SIGTERM, ``--deadline``)
+makes the runner stop submitting, salvage in-flight work for a short
+grace period, and raise
+:class:`~repro.durability.interrupt.RunInterrupted` carrying everything
+completed so far — the caller checkpoints and exits resumable.
+
 Per-job progress and wall-clock timing are emitted on the
 ``repro.analysis.runner`` logger (enable with ``--verbose`` on the CLI);
 logging never touches stdout, keeping rendered artifacts byte-identical
@@ -55,12 +64,19 @@ from ..baselines.strict import StrictPersistencySimulator
 from ..core.controller import TimingCalibration
 from ..core.schemes import SCHEMES
 from ..core.simulator import SecurePersistencySimulator
+from ..durability.interrupt import RunInterrupted, StopToken
 from ..security.bmf import ForestTimingModel
 from ..sim.config import SystemConfig
 from ..sim.stats import SimulationResult
 from ..workloads.store import get_trace
 
 logger = logging.getLogger(__name__)
+
+#: How often (seconds) a blocked harvest re-polls the stop token.
+_STOP_POLL_INTERVAL = 0.25
+
+#: Wall-clock grace (seconds) granted to in-flight futures at interrupt.
+_SALVAGE_GRACE = 5.0
 
 JobKey = Tuple[Any, ...]
 """A job's stable identity — any hashable tuple, unique within one sweep."""
@@ -200,15 +216,31 @@ def _failure_for(key: JobKey, exc: BaseException, attempts: int) -> JobFailure:
     )
 
 
+def _record(
+    results: Dict[JobKey, Any],
+    key: JobKey,
+    value: Any,
+    on_result: Optional[Callable[[JobKey, Any], None]],
+) -> None:
+    """Store one fresh result and fire the checkpoint hook (journal)."""
+    results[key] = value
+    if on_result is not None:
+        on_result(key, value)
+
+
 def _run_tasks_serial(
     tasks: Sequence[Any],
     fn: Callable[[Any], Any],
     on_error: str,
     retries: int,
+    stop: Optional[StopToken],
+    on_result: Optional[Callable[[JobKey, Any], None]],
 ) -> Dict[JobKey, Any]:
     total = len(tasks)
     results: Dict[JobKey, Any] = {}
     for index, task in enumerate(tasks, start=1):
+        if stop is not None and stop.check():
+            raise RunInterrupted(stop.reason, results)
         attempts = 0
         while True:
             attempts += 1
@@ -223,16 +255,83 @@ def _run_tasks_serial(
                     continue
                 if on_error == "raise":
                     raise
-                results[task.key] = _failure_for(task.key, exc, attempts)
+                _record(
+                    results, task.key,
+                    _failure_for(task.key, exc, attempts), on_result,
+                )
                 logger.info("[%d/%d] %s: FAILED after %d attempt(s)",
                             index, total, task.key, attempts)
                 break
-            results[task.key] = result
+            _record(results, task.key, result, on_result)
             logger.info(
                 "[%d/%d] %s: done in %.2fs", index, total, task.key, elapsed
             )
             break
     return results
+
+
+class _StopRequested(Exception):
+    """Internal: the stop token tripped while the harvest was waiting."""
+
+
+def _wait_result(
+    future: Any,
+    timeout: Optional[float],
+    stop: Optional[StopToken],
+) -> Any:
+    """``future.result`` with the wait sliced so the stop token is polled.
+
+    Preserves the per-task timeout semantics (measured from when the
+    harvest starts waiting on this future) while noticing a tripped
+    token within :data:`_STOP_POLL_INTERVAL` seconds.
+    """
+    waited = 0.0
+    while True:
+        if stop is not None and stop.check():
+            raise _StopRequested()
+        remaining = None if timeout is None else timeout - waited
+        if remaining is not None and remaining <= 0:
+            raise FutureTimeoutError()
+        chunk = (
+            _STOP_POLL_INTERVAL
+            if remaining is None
+            else min(_STOP_POLL_INTERVAL, remaining)
+        )
+        try:
+            return future.result(timeout=chunk)
+        except FutureTimeoutError:
+            waited += chunk
+
+
+def _salvage_in_flight(
+    remaining: Sequence[Tuple[Any, Any]],
+    results: Dict[JobKey, Any],
+    on_result: Optional[Callable[[JobKey, Any], None]],
+) -> None:
+    """At interrupt: cancel what never started, keep what finished anyway.
+
+    In-flight futures get a shared :data:`_SALVAGE_GRACE` budget to
+    deliver — work a worker already paid for should reach the journal,
+    not be thrown away.  Anything still running after the grace is
+    abandoned (it re-runs on ``--resume``).
+    """
+    # Cancel everything still queued in ONE pass before waiting on
+    # anything — otherwise freed workers keep picking up queued futures
+    # while we salvage, and "stop submitting" never actually stops.
+    in_flight = [
+        (task, future) for task, future in remaining if not future.cancel()
+    ]
+    deadline = time.monotonic() + _SALVAGE_GRACE
+    for task, future in in_flight:
+        grace = max(0.0, deadline - time.monotonic())
+        try:
+            result, _elapsed = future.result(timeout=grace)
+        except FutureTimeoutError:
+            continue  # still running; abandoned for the resume to redo
+        except Exception:
+            continue  # failed in flight; the resume will retry it
+        _record(results, task.key, result, on_result)
+        logger.info("%s: salvaged at interrupt", task.key)
 
 
 def _run_tasks_pool(
@@ -242,12 +341,15 @@ def _run_tasks_pool(
     on_error: str,
     retries: int,
     timeout: Optional[float],
+    stop: Optional[StopToken],
+    on_result: Optional[Callable[[JobKey, Any], None]],
 ) -> Dict[JobKey, Any]:
     total = len(tasks)
     results: Dict[JobKey, Any] = {}
     #: key -> prior execution attempts (for retry accounting)
     attempts: Dict[JobKey, int] = {task.key: 0 for task in tasks}
     timed_out = False
+    interrupted = False
     pool = ProcessPoolExecutor(max_workers=min(workers, total))
     try:
         pending = list(tasks)
@@ -264,21 +366,33 @@ def _run_tasks_pool(
                     # measured from when the harvest starts waiting on the
                     # future, so a task never gets *less* than `timeout`
                     # seconds of wall clock.
-                    result, elapsed = future.result(timeout=timeout)
+                    result, elapsed = _wait_result(future, timeout, stop)
+                except _StopRequested:
+                    interrupted = True
+                    attempts[key] -= 1  # this attempt never concluded
+                    _salvage_in_flight(
+                        futures[index - 1:], results, on_result
+                    )
+                    assert stop is not None
+                    raise RunInterrupted(stop.reason, results)
                 except FutureTimeoutError:
                     # The worker may be wedged; record and move on — the
                     # remaining futures are still harvested (salvage).
                     timed_out = True
-                    results[key] = JobFailure(
-                        key=key,
-                        error_type="TimeoutError",
-                        message=(
-                            f"no result within {timeout}s; "
-                            "worker abandoned"
+                    _record(
+                        results, key,
+                        JobFailure(
+                            key=key,
+                            error_type="TimeoutError",
+                            message=(
+                                f"no result within {timeout}s; "
+                                "worker abandoned"
+                            ),
+                            traceback="",
+                            attempts=attempts[key],
+                            timed_out=True,
                         ),
-                        traceback="",
-                        attempts=attempts[key],
-                        timed_out=True,
+                        on_result,
                     )
                     logger.info(
                         "[%d/%d] %s: TIMED OUT after %.1fs",
@@ -299,21 +413,25 @@ def _run_tasks_pool(
                         continue
                     if on_error == "raise":
                         raise
-                    results[key] = _failure_for(key, exc, attempts[key])
+                    _record(
+                        results, key,
+                        _failure_for(key, exc, attempts[key]), on_result,
+                    )
                     logger.info(
                         "[%d/%d] %s: FAILED after %d attempt(s)",
                         index, len(futures), key, attempts[key],
                     )
                     continue
-                results[key] = result
+                _record(results, key, result, on_result)
                 logger.info(
                     "[%d/%d] %s: done in %.2fs",
                     index, len(futures), key, elapsed,
                 )
             pending = retry
     finally:
-        # A timed-out worker may never return; don't block shutdown on it.
-        if timed_out:
+        # A timed-out (or abandoned-at-interrupt) worker may never
+        # return; don't block shutdown on it.
+        if timed_out or interrupted:
             pool.shutdown(wait=False, cancel_futures=True)
         else:
             pool.shutdown(wait=True)
@@ -327,6 +445,9 @@ def run_tasks(
     on_error: str = "raise",
     retries: int = 1,
     timeout: Optional[float] = None,
+    completed: Optional[Dict[JobKey, Any]] = None,
+    on_result: Optional[Callable[[JobKey, Any], None]] = None,
+    stop: Optional[StopToken] = None,
 ) -> Dict[JobKey, Any]:
     """Execute keyed tasks and return ``{task.key: result}`` in task order.
 
@@ -352,11 +473,29 @@ def run_tasks(
             a serial run cannot preempt the task).  An expired task is
             recorded as a timed-out :class:`JobFailure` under
             ``on_error="record"``.
+        completed: results already known (a resumed journal) — those
+            tasks are *not* re-executed; their values appear in the
+            returned mapping at the usual positions, and ``on_result``
+            is **not** fired for them (they are already journaled).
+        on_result: ``(key, result)`` hook fired the moment each *fresh*
+            result (or recorded :class:`JobFailure`) lands — the
+            journal-append checkpoint.
+        stop: cooperative stop token, polled between tasks (serial) or
+            every ~0.25s during the harvest (pool).  When tripped, the
+            runner stops submitting, gives in-flight futures a ~5s
+            salvage grace, and raises
+            :class:`~repro.durability.interrupt.RunInterrupted` whose
+            ``completed`` carries every result so far (journaled +
+            fresh + salvaged).
 
     Returns:
         Results keyed and ordered by ``task.key``; under
         ``on_error="record"`` a value is either ``fn``'s result or a
         :class:`JobFailure`.
+
+    Raises:
+        RunInterrupted: the ``stop`` token tripped before all tasks
+            finished; ``exc.completed`` holds the partial mapping.
     """
     if on_error not in ("raise", "record"):
         raise ValueError(f"unknown on_error mode {on_error!r}")
@@ -364,13 +503,33 @@ def run_tasks(
     _check_unique_keys(tasks)
     if not tasks:
         return {}
-    if workers <= 1 or len(tasks) <= 1:
-        results = _run_tasks_serial(tasks, fn, on_error, retries)
-    else:
-        results = _run_tasks_pool(
-            tasks, fn, workers, on_error, retries, timeout
+    done: Dict[JobKey, Any] = dict(completed) if completed else {}
+    todo = [task for task in tasks if task.key not in done]
+    if done:
+        logger.info(
+            "resuming: %d/%d task(s) already journaled, %d to run",
+            len(tasks) - len(todo), len(tasks), len(todo),
         )
-    return {task.key: results[task.key] for task in tasks}
+    try:
+        if not todo:
+            fresh: Dict[JobKey, Any] = {}
+        elif workers <= 1 or len(todo) <= 1:
+            fresh = _run_tasks_serial(
+                todo, fn, on_error, retries, stop, on_result
+            )
+        else:
+            fresh = _run_tasks_pool(
+                todo, fn, workers, on_error, retries, timeout, stop,
+                on_result,
+            )
+    except RunInterrupted as exc:
+        # Re-raise with the journaled prefix merged in, so the caller's
+        # checkpoint sees the complete picture.
+        merged = dict(done)
+        merged.update(exc.completed)
+        raise RunInterrupted(exc.reason, merged) from None
+    done.update(fresh)
+    return {task.key: done[task.key] for task in tasks}
 
 
 def run_jobs(
@@ -379,6 +538,9 @@ def run_jobs(
     on_error: str = "raise",
     retries: int = 1,
     timeout: Optional[float] = None,
+    completed: Optional[Dict[JobKey, Any]] = None,
+    on_result: Optional[Callable[[JobKey, Any], None]] = None,
+    stop: Optional[StopToken] = None,
 ) -> Dict[JobKey, SimulationResult]:
     """Execute ``jobs`` and return ``{job.key: result}`` in job order.
 
@@ -391,7 +553,9 @@ def run_jobs(
     Hardening knobs (``on_error``/``retries``/``timeout``) are forwarded
     to :func:`run_tasks`; with ``on_error="record"`` a failing job maps
     to a :class:`JobFailure` while every healthy job's result stays
-    byte-identical to its serial run.
+    byte-identical to its serial run.  Resumption knobs
+    (``completed``/``on_result``/``stop``) are forwarded too — see
+    :func:`run_tasks`.
     """
     return run_tasks(
         jobs,
@@ -400,4 +564,7 @@ def run_jobs(
         on_error=on_error,
         retries=retries,
         timeout=timeout,
+        completed=completed,
+        on_result=on_result,
+        stop=stop,
     )

@@ -12,6 +12,7 @@ import dataclasses
 import json
 from typing import Any, Dict
 
+from ..durability import ArtifactError, ArtifactStatus, verify_artifact, write_artifact
 from ..energy.battery import BatteryEstimate
 from ..sim.stats import SimulationResult
 from .experiments import (
@@ -72,21 +73,51 @@ def result_to_dict(result: Any) -> Dict[str, Any]:
 
 
 def save_result(result: Any, path: str) -> None:
-    """Write one result as pretty-printed JSON."""
-    with open(path, "w") as handle:
-        json.dump(result_to_dict(result), handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    """Write one result as pretty-printed JSON.
+
+    The write is atomic with a SHA-256 sidecar manifest
+    (:func:`repro.durability.write_artifact`), so a crash mid-save never
+    leaves a truncated result that parses.
+    """
+    text = json.dumps(result_to_dict(result), indent=2, sort_keys=True) + "\n"
+    write_artifact(path, text)
 
 
 def load_result(path: str) -> Dict[str, Any]:
-    """Read a JSON result back as a plain dictionary."""
+    """Read a JSON result back as a plain dictionary.
+
+    If the file has a sidecar manifest (everything :func:`save_result`
+    writes does), it is verified first; a truncated or bit-flipped
+    result raises :class:`repro.durability.ArtifactError` instead of
+    deserializing garbage.  Unmanifested files (hand-written or from
+    older builds) load as before.
+    """
+    status = verify_artifact(path)
+    if status is ArtifactStatus.MISMATCH:
+        raise ArtifactError(path, status)
     with open(path) as handle:
         return json.load(handle)
+
+
+def simulation_result_to_payload(result: SimulationResult) -> Dict[str, Any]:
+    """Encode one :class:`SimulationResult` as a JSON-safe journal payload."""
+    return {"kind": "sim_result", "data": dataclasses.asdict(result)}
+
+
+def simulation_result_from_payload(payload: Dict[str, Any]) -> SimulationResult:
+    """Invert :func:`simulation_result_to_payload` (journal resume path)."""
+    if payload.get("kind") != "sim_result":
+        raise ValueError(
+            f"unknown experiment journal payload kind {payload.get('kind')!r}"
+        )
+    return SimulationResult(**payload["data"])
 
 
 __all__ = [
     "load_result",
     "result_to_dict",
     "save_result",
+    "simulation_result_from_payload",
+    "simulation_result_to_payload",
     "to_jsonable",
 ]

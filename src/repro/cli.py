@@ -26,19 +26,69 @@ from __future__ import annotations
 import argparse
 import logging
 import sys
-from typing import List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from .analysis.experiments import DEFAULT_WARMUP, EXPERIMENTS, run_experiment
-from .analysis.serialize import save_result
+from .analysis.serialize import (
+    save_result,
+    simulation_result_from_payload,
+    simulation_result_to_payload,
+)
 from .baselines.bbb import run_bbb
 from .core.schemes import SPECTRUM_ORDER, get_scheme
 from .core.simulator import run_scheme
+from .durability import (
+    EXIT_RESUMABLE,
+    DeadlineToken,
+    JournalError,
+    JournalWriter,
+    RunInterrupted,
+    StopToken,
+    graceful_shutdown,
+    open_journal,
+    write_artifact,
+)
 from .energy.advisor import recommend
 from .energy.costs import LI_THIN, SUPERCAP
 from .workloads.spec import all_benchmarks, build_trace
 
 TIMING_EXPERIMENTS = ("table4", "fig6", "fig7", "fig8", "fig9")
 """Trace-driven experiments that accept num_ops/seed/jobs."""
+
+EXPERIMENT_JOURNAL_KIND = "experiment"
+"""Journal ``kind`` tag for ``repro experiment`` journals."""
+
+
+def _resolve_journal(args: argparse.Namespace) -> Tuple[Optional[str], bool]:
+    """(journal path, resuming?) from ``--journal``/``--resume`` flags.
+
+    ``--deadline`` without a journal would checkpoint into nothing —
+    every completed job would be lost at the deadline — so it is
+    rejected up front.
+    """
+    journal = args.resume or args.journal
+    if args.deadline is not None and journal is None:
+        raise SystemExit(
+            "error: --deadline requires --journal or --resume "
+            "(a checkpoint needs somewhere durable to land)"
+        )
+    return journal, args.resume is not None
+
+
+def _stop_token(args: argparse.Namespace) -> StopToken:
+    if args.deadline is not None:
+        return DeadlineToken(args.deadline)
+    return StopToken()
+
+
+def _report_interrupt(exc: RunInterrupted, journal: Optional[str]) -> int:
+    print(
+        f"interrupted ({exc.reason}): {len(exc.completed)} job(s) "
+        f"checkpointed"
+        + (f" in {journal}; rerun with --resume {journal}" if journal else ""),
+        file=sys.stderr,
+    )
+    return EXIT_RESUMABLE
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
@@ -48,10 +98,61 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         logging.basicConfig(
             level=logging.INFO, stream=sys.stderr, format="%(message)s"
         )
-    kwargs = {}
+    journal, resuming = _resolve_journal(args)
+    if journal is not None and args.id not in TIMING_EXPERIMENTS:
+        raise SystemExit(
+            f"error: --journal/--resume only apply to the trace-driven "
+            f"experiments ({', '.join(TIMING_EXPERIMENTS)}); "
+            f"{args.id} finishes instantly"
+        )
+    kwargs: Dict[str, Any] = {}
     if args.id in TIMING_EXPERIMENTS:
         kwargs.update(num_ops=args.num_ops, seed=args.seed, jobs=args.jobs)
-    result = run_experiment(args.id, **kwargs)
+    writer = None
+    if journal is not None:
+        spec_payload = {
+            "experiment": args.id,
+            "num_ops": args.num_ops,
+            "seed": args.seed,
+        }
+        if resuming:
+            try:
+                writer, payloads = open_journal(
+                    journal, EXPERIMENT_JOURNAL_KIND, spec_payload
+                )
+            except JournalError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            completed = {
+                key: simulation_result_from_payload(payload)
+                for key, payload in payloads.items()
+            }
+        else:
+            writer = JournalWriter.create(
+                journal, EXPERIMENT_JOURNAL_KIND, spec_payload
+            )
+            completed = {}
+
+        def on_result(key: Any, result: Any) -> None:
+            writer.append(key, simulation_result_to_payload(result))
+
+        token = _stop_token(args)
+        kwargs["runner_opts"] = {
+            "completed": completed,
+            "on_result": on_result,
+            "stop": token,
+        }
+    try:
+        if journal is not None:
+            with graceful_shutdown(kwargs["runner_opts"]["stop"]):
+                result = run_experiment(args.id, **kwargs)
+        else:
+            result = run_experiment(args.id, **kwargs)
+    except RunInterrupted as exc:
+        return _report_interrupt(exc, journal)
+    finally:
+        if writer is not None:
+            writer.close()
     print(result.render())
     if args.save:
         save_result(result, args.save)
@@ -196,14 +297,24 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 
 def _cmd_faultcampaign(args: argparse.Namespace) -> int:
     from .fault import CampaignSpec, run_campaign, save_reproducer
-    from .fault.minimize import replay_reproducer
+    from .fault.minimize import replay_with_verdict
 
     if args.verbose:
         logging.basicConfig(
             level=logging.INFO, stream=sys.stderr, format="%(message)s"
         )
     if args.replay:
-        result = replay_reproducer(args.replay)
+        outcome = replay_with_verdict(args.replay)
+        result = outcome.result
+        if outcome.diverged:
+            # The replayed verdict is not what the campaign recorded —
+            # the code under test changed, so the reproducer is stale.
+            print(
+                f"DIVERGED {result.case_id}: replay disagrees with the "
+                f"recorded verdict"
+            )
+            print(outcome.diff(), end="")
+            return 3
         status = "PASS" if result.passed else "FAIL"
         print(
             f"{status} {result.case_id}: expected {result.expected}, "
@@ -213,6 +324,7 @@ def _cmd_faultcampaign(args: argparse.Namespace) -> int:
             print(f"  {result.detail}")
         return 0 if result.passed else 1
 
+    journal, resuming = _resolve_journal(args)
     schemes = (
         tuple(SPECTRUM_ORDER)
         if args.schemes == "all"
@@ -227,16 +339,26 @@ def _cmd_faultcampaign(args: argparse.Namespace) -> int:
         num_stores=args.num_stores,
         num_asids=args.asids,
     )
-    report = run_campaign(
-        spec,
-        jobs=args.jobs,
-        timeout=args.timeout,
-        minimize=not args.no_minimize,
-    )
+    token = _stop_token(args)
+    try:
+        with graceful_shutdown(token):
+            report = run_campaign(
+                spec,
+                jobs=args.jobs,
+                timeout=args.timeout,
+                minimize=not args.no_minimize,
+                journal=journal,
+                resume=resuming,
+                stop=token,
+            )
+    except RunInterrupted as exc:
+        return _report_interrupt(exc, journal)
+    except JournalError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     print(report.render())
     if args.save:
-        with open(args.save, "w") as handle:
-            handle.write(report.to_json() + "\n")
+        write_artifact(args.save, report.to_json() + "\n")
         print(f"report saved to {args.save}", file=sys.stderr)
     if args.repro_dir and report.reproducers:
         import os
@@ -245,7 +367,9 @@ def _cmd_faultcampaign(args: argparse.Namespace) -> int:
         for repro in report.reproducers:
             name = repro.case_id.replace("/", "_") + ".json"
             path = save_reproducer(
-                repro.minimized, os.path.join(args.repro_dir, name)
+                repro.minimized,
+                os.path.join(args.repro_dir, name),
+                result=repro.result,
             )
             print(f"reproducer saved to {path}", file=sys.stderr)
     return 0 if report.all_passed else 1
@@ -282,6 +406,28 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         default=None,
         help="also persist the result as JSON (repro.analysis.serialize)",
+    )
+    experiment.add_argument(
+        "--journal",
+        metavar="PATH",
+        default=None,
+        help="checkpoint each completed simulation to an append-only "
+        "journal (trace-driven experiments only)",
+    )
+    experiment.add_argument(
+        "--resume",
+        metavar="PATH",
+        default=None,
+        help="resume from a journal: skip journaled simulations, run the "
+        "rest, render the identical artifact",
+    )
+    experiment.add_argument(
+        "--deadline",
+        type=float,
+        metavar="SECONDS",
+        default=None,
+        help="wall-clock budget; on expiry, checkpoint to the journal and "
+        f"exit {EXIT_RESUMABLE} (resumable)",
     )
     experiment.add_argument(
         "--verbose",
@@ -399,6 +545,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     faultcampaign.add_argument(
         "--save", metavar="PATH", default=None, help="write the JSON report"
+    )
+    faultcampaign.add_argument(
+        "--journal",
+        metavar="PATH",
+        default=None,
+        help="checkpoint each graded case to an append-only journal "
+        "(fsynced per record; survives SIGKILL)",
+    )
+    faultcampaign.add_argument(
+        "--resume",
+        metavar="PATH",
+        default=None,
+        help="resume from a journal: skip journaled cases, run the rest, "
+        "produce a byte-identical report",
+    )
+    faultcampaign.add_argument(
+        "--deadline",
+        type=float,
+        metavar="SECONDS",
+        default=None,
+        help="wall-clock budget; on expiry, checkpoint to the journal and "
+        f"exit {EXIT_RESUMABLE} (resumable)",
     )
     faultcampaign.add_argument(
         "--repro-dir",

@@ -1,0 +1,103 @@
+"""Cooperative cancellation: stop tokens, deadlines, graceful signals.
+
+The parallel runner cannot safely be killed from the outside — a hard
+kill abandons in-flight results and can tear files.  Instead the harness
+polls a :class:`StopToken`; when the token trips (SIGINT/SIGTERM via
+:func:`graceful_shutdown`, or a wall-clock budget via
+:class:`DeadlineToken`) the runner stops handing out new work, salvages
+what is already in flight, and raises :class:`RunInterrupted` carrying
+everything completed so far.  Callers turn that checkpoint into a
+journal flush and exit with :data:`EXIT_RESUMABLE` (75, BSD
+``EX_TEMPFAIL``) — a distinct code scripts can test for "re-run me with
+``--resume``".
+"""
+
+from __future__ import annotations
+
+import signal
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, Optional
+
+EXIT_RESUMABLE = 75
+"""Process exit code for "interrupted but resumable" (BSD ``EX_TEMPFAIL``)."""
+
+
+class StopToken:
+    """A latch the runner polls between jobs; trips once, never resets."""
+
+    def __init__(self) -> None:
+        self._reason: Optional[str] = None
+
+    @property
+    def triggered(self) -> bool:
+        return self._reason is not None
+
+    @property
+    def reason(self) -> str:
+        return self._reason or ""
+
+    def trip(self, reason: str) -> None:
+        """Latch the token; only the first reason is kept."""
+        if self._reason is None:
+            self._reason = reason
+
+    def check(self) -> bool:
+        """Poll hook — subclasses may trip themselves here (deadlines)."""
+        return self.triggered
+
+
+class DeadlineToken(StopToken):
+    """A stop token that trips itself once a wall-clock budget elapses."""
+
+    def __init__(self, seconds: float) -> None:
+        super().__init__()
+        self.seconds = float(seconds)
+        self._t0 = time.monotonic()
+
+    def check(self) -> bool:
+        if not self.triggered and time.monotonic() - self._t0 >= self.seconds:
+            self.trip(f"deadline of {self.seconds:g}s elapsed")
+        return self.triggered
+
+
+class RunInterrupted(RuntimeError):
+    """A run stopped at a checkpoint; carries everything completed so far.
+
+    ``completed`` maps job key -> result for every job that finished
+    (including journaled results from a resumed prefix), so the caller
+    can flush a journal and report progress before exiting with
+    :data:`EXIT_RESUMABLE`.
+    """
+
+    def __init__(self, reason: str, completed: Dict[Any, Any]):
+        super().__init__(reason)
+        self.reason = reason
+        self.completed = completed
+
+
+@contextmanager
+def graceful_shutdown(token: StopToken) -> Iterator[StopToken]:
+    """Route SIGINT/SIGTERM into ``token`` for the duration of the block.
+
+    The first signal trips the token (the runner then checkpoints and
+    exits cleanly); previous handlers are restored on exit so nested or
+    subsequent signal use behaves normally.  A second SIGINT falls
+    through to the restored handler once the block exits — there is no
+    force-kill escalation here by design: checkpointing is fast.
+    """
+
+    def _handler(signum: int, frame: Any) -> None:
+        token.trip(f"received {signal.Signals(signum).name}")
+
+    previous = {}
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous[sig] = signal.signal(sig, _handler)
+        except (ValueError, OSError):
+            pass  # non-main thread or unsupported platform: poll-only
+    try:
+        yield token
+    finally:
+        for sig, old in previous.items():
+            signal.signal(sig, old)

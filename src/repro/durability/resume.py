@@ -1,0 +1,78 @@
+"""Journal open/validate/partition glue shared by campaign and runner.
+
+Both resumable front ends (``repro faultcampaign`` and the experiment
+runner) follow the same protocol:
+
+1. :func:`open_journal` — if the journal file exists, validate it
+   against the *current* spec (kind and fingerprint must match, else
+   :class:`~repro.durability.journal.StaleJournalError`) and reopen it
+   for append; otherwise create it fresh with a header.  Returns the
+   writer plus the payloads already recorded.
+2. :func:`partition_tasks` — split the task list into already-journaled
+   and still-to-run, preserving task order so the final report is
+   assembled identically to an uninterrupted run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Tuple, Union
+
+from .journal import (
+    JournalWriter,
+    StaleJournalError,
+    fingerprint,
+    read_journal,
+)
+
+
+def open_journal(
+    path: Union[str, Path],
+    kind: str,
+    spec: Dict[str, Any],
+) -> Tuple[JournalWriter, Dict[Any, Dict[str, Any]]]:
+    """Open ``path`` for journaling jobs of ``kind`` under ``spec``.
+
+    Returns ``(writer, completed)`` where ``completed`` maps each
+    already-journaled job key to its recorded payload (empty for a fresh
+    journal).
+
+    Raises:
+        StaleJournalError: the journal exists but was written for a
+            different kind or a spec with a different fingerprint.
+        JournalError: the journal exists but is unreadable (corrupt
+            header or mid-file corruption).
+    """
+    path = Path(path)
+    if not path.is_file():
+        return JournalWriter.create(path, kind, spec), {}
+    journal = read_journal(path)
+    if journal.kind != kind:
+        raise StaleJournalError(
+            f"journal {path} records {journal.kind!r} jobs, not {kind!r}"
+        )
+    current = fingerprint(spec)
+    if journal.fingerprint != current:
+        raise StaleJournalError(
+            f"journal {path} was written for a different spec "
+            f"(journal fingerprint {journal.fingerprint[:12]}…, current "
+            f"{current[:12]}…) — rerun without --resume or delete it"
+        )
+    return JournalWriter.append_to(path), dict(journal.entries)
+
+
+def partition_tasks(
+    keys: Iterable[Any],
+    completed: Dict[Any, Any],
+) -> Tuple[List[Any], List[Any]]:
+    """Split ``keys`` into ``(done, remaining)``, preserving order.
+
+    ``done`` are keys with a journaled payload; ``remaining`` still need
+    to run.  Journal entries for keys not in ``keys`` are ignored (the
+    fingerprint check makes that case unreachable in practice).
+    """
+    done: List[Any] = []
+    remaining: List[Any] = []
+    for key in keys:
+        (done if key in completed else remaining).append(key)
+    return done, remaining

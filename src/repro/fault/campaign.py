@@ -31,14 +31,21 @@ Grading contract per case kind:
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
 from random import Random
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from ..analysis.runner import JobFailure, run_tasks
 from ..core.crash import AppCrashPolicy, CrashVerdict, GappedPersistentSystem, SecurePersistentSystem
 from ..core.recovery import RecoveryVerdict
 from ..core.schemes import SPECTRUM_ORDER, get_scheme
+from ..durability import (
+    JournalWriter,
+    StopToken,
+    decode_key,
+    open_journal,
+)
 from ..energy.battery import per_entry_drain_energy_nj
 from .cases import (
     CRASH_APP,
@@ -346,6 +353,39 @@ def execute_case(case: FaultCase) -> CaseResult:
 
 # Campaign execution and reporting ------------------------------------------
 
+JOURNAL_KIND = "fault-campaign"
+"""The journal ``kind`` tag for campaign journals (see repro.durability)."""
+
+
+def spec_payload(spec: CampaignSpec) -> Dict[str, Any]:
+    """The JSON-safe form of a spec that journal fingerprints bind to.
+
+    Any change to the spec changes the fingerprint, so a journal written
+    for one campaign shape can never be resumed into another.
+    """
+    return asdict(spec)
+
+
+def outcome_to_payload(outcome: Union[CaseResult, JobFailure]) -> Dict[str, Any]:
+    """Encode one case outcome as a JSON-safe journal payload."""
+    if isinstance(outcome, JobFailure):
+        data = asdict(outcome)
+        data["key"] = list(data["key"]) if isinstance(data["key"], tuple) else data["key"]
+        return {"kind": "job_failure", "data": data}
+    return {"kind": "result", "data": asdict(outcome)}
+
+
+def outcome_from_payload(payload: Dict[str, Any]) -> Union[CaseResult, JobFailure]:
+    """Invert :func:`outcome_to_payload` (used when resuming a journal)."""
+    kind = payload.get("kind")
+    data = dict(payload["data"])
+    if kind == "job_failure":
+        data["key"] = decode_key(data["key"])
+        return JobFailure(**data)
+    if kind == "result":
+        return CaseResult(**data)
+    raise ValueError(f"unknown campaign journal payload kind {kind!r}")
+
 
 @dataclass
 class Reproducer:
@@ -453,6 +493,9 @@ def run_campaign(
     timeout: Optional[float] = None,
     minimize: bool = True,
     max_reproducers: int = 5,
+    journal: Optional[Union[str, Path]] = None,
+    resume: bool = False,
+    stop: Optional[StopToken] = None,
 ) -> CampaignReport:
     """Build, execute, and grade a full campaign.
 
@@ -461,13 +504,56 @@ def run_campaign(
     opposed to failing its grade) lands in ``job_failures`` without
     disturbing any other case.  Failing cases are shrunk to minimal
     replayable reproducers unless ``minimize`` is off.
+
+    With ``journal`` set, each case's outcome is appended (and fsynced)
+    to an append-only journal the moment it lands; ``resume=True``
+    validates an existing journal against this spec's fingerprint
+    (:class:`~repro.durability.StaleJournalError` if it was written for
+    a different campaign) and skips every journaled case, while
+    ``resume=False`` truncates and starts fresh.  ``stop`` is the
+    cooperative interrupt token — when it trips, the in-flight prefix is
+    flushed to the journal and
+    :class:`~repro.durability.RunInterrupted` propagates to the caller.
+    Because cases are deterministic and the report is assembled in case
+    order, an interrupted-then-resumed campaign renders byte-identically
+    to an uninterrupted one (minimization runs only once all cases have
+    completed).
     """
     spec = spec if spec is not None else CampaignSpec()
     cases = build_cases(spec)
-    raw = run_tasks(
-        cases, execute_case, workers=jobs, on_error="record",
-        retries=1, timeout=timeout,
-    )
+    writer: Optional[JournalWriter] = None
+    completed: Dict[Any, Any] = {}
+    on_result = None
+    if journal is not None:
+        if resume:
+            writer, payloads = open_journal(
+                journal, JOURNAL_KIND, spec_payload(spec)
+            )
+            completed = {
+                key: outcome_from_payload(payload)
+                for key, payload in payloads.items()
+            }
+        else:
+            writer = JournalWriter.create(
+                journal, JOURNAL_KIND, spec_payload(spec)
+            )
+
+        def on_result(key: Any, outcome: Any) -> None:
+            assert writer is not None
+            writer.append(key, outcome_to_payload(outcome))
+
+    try:
+        raw = run_tasks(
+            cases, execute_case, workers=jobs, on_error="record",
+            retries=1, timeout=timeout,
+            completed=completed, on_result=on_result, stop=stop,
+        )
+    finally:
+        # On RunInterrupted the journal already holds every completed
+        # case (appends are fsynced per record); just release the handle
+        # before the interrupt propagates to the caller's checkpoint.
+        if writer is not None:
+            writer.close()
     report = CampaignReport(spec=spec)
     by_id = {case.case_id: case for case in cases}
     for case in cases:

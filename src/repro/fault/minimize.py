@@ -14,14 +14,22 @@ one-command, deterministic bug report.
 from __future__ import annotations
 
 import dataclasses
+import difflib
 import json
 from pathlib import Path
 from typing import Any, Dict, Optional, Tuple, Union
 
+from ..durability import write_artifact
 from .cases import CaseResult, FaultCase, TamperSpec
 
 #: Reproducer file-format version (bump on incompatible field changes).
-REPRODUCER_VERSION = 1
+#: Version 2 adds the optional embedded ``recorded_result`` verdict so a
+#: replay can detect divergence from what the campaign observed; version
+#: 1 files (case only) are still read.
+REPRODUCER_VERSION = 2
+
+#: Oldest reproducer version this build still loads.
+_MIN_REPRODUCER_VERSION = 1
 
 #: Upper bound on candidate re-executions during one minimization.
 _MAX_SHRINK_ATTEMPTS = 64
@@ -128,10 +136,11 @@ def case_from_dict(payload: Dict[str, Any]) -> FaultCase:
     """
     data = dict(payload)
     version = data.pop("version", REPRODUCER_VERSION)
-    if version != REPRODUCER_VERSION:
+    data.pop("recorded_result", None)  # verdict metadata, not a case field
+    if not _MIN_REPRODUCER_VERSION <= version <= REPRODUCER_VERSION:
         raise ValueError(
-            f"unsupported reproducer version {version!r} "
-            f"(this build reads version {REPRODUCER_VERSION})"
+            f"unsupported reproducer version {version!r} (this build reads "
+            f"versions {_MIN_REPRODUCER_VERSION}..{REPRODUCER_VERSION})"
         )
     tamper = data.get("tamper")
     if tamper is not None:
@@ -139,12 +148,25 @@ def case_from_dict(payload: Dict[str, Any]) -> FaultCase:
     return FaultCase(**data)
 
 
-def save_reproducer(case: FaultCase, path: Union[str, Path]) -> Path:
-    """Write a replayable JSON reproducer; returns the path written."""
+def save_reproducer(
+    case: FaultCase,
+    path: Union[str, Path],
+    result: Optional[CaseResult] = None,
+) -> Path:
+    """Write a replayable JSON reproducer; returns the path written.
+
+    When the campaign's graded ``result`` is supplied it is embedded as
+    ``recorded_result``, so a later ``repro faultcampaign --replay`` can
+    detect a *divergent* replay (code changed, verdict changed) rather
+    than only pass/fail.  The file lands atomically with a SHA-256
+    sidecar manifest (:func:`repro.durability.write_artifact`) — a crash
+    mid-save can never leave a truncated reproducer that parses.
+    """
     path = Path(path)
-    path.write_text(
-        json.dumps(case_to_dict(case), indent=2, sort_keys=True) + "\n"
-    )
+    payload = case_to_dict(case)
+    if result is not None:
+        payload["recorded_result"] = dataclasses.asdict(result)
+    write_artifact(path, json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return path
 
 
@@ -153,8 +175,62 @@ def load_reproducer(path: Union[str, Path]) -> FaultCase:
     return case_from_dict(json.loads(Path(path).read_text()))
 
 
+def load_recorded_result(path: Union[str, Path]) -> Optional[CaseResult]:
+    """The verdict embedded in a reproducer, or ``None`` (version-1 files)."""
+    payload = json.loads(Path(path).read_text())
+    recorded = payload.get("recorded_result")
+    if recorded is None:
+        return None
+    return CaseResult(**recorded)
+
+
 def replay_reproducer(path: Union[str, Path]) -> CaseResult:
     """Load and re-execute a saved reproducer (deterministic replay)."""
     from .campaign import execute_case  # lazy: campaign imports this module
 
     return execute_case(load_reproducer(path))
+
+
+@dataclasses.dataclass(frozen=True)
+class ReplayOutcome:
+    """A replayed reproducer's verdict next to the recorded one.
+
+    ``recorded`` is ``None`` for version-1 reproducers (no embedded
+    verdict) — those can only be graded pass/fail, never divergent.
+    """
+
+    result: CaseResult
+    recorded: Optional[CaseResult]
+
+    @property
+    def diverged(self) -> bool:
+        """The replay produced a different verdict than the campaign saw."""
+        return self.recorded is not None and self.result != self.recorded
+
+    def diff(self) -> str:
+        """Unified diff of the recorded vs replayed verdict dicts."""
+        if self.recorded is None:
+            return ""
+
+        def dump(result: CaseResult) -> list:
+            text = json.dumps(
+                dataclasses.asdict(result), indent=2, sort_keys=True
+            )
+            return (text + "\n").splitlines(keepends=True)
+
+        return "".join(
+            difflib.unified_diff(
+                dump(self.recorded),
+                dump(self.result),
+                fromfile="recorded verdict",
+                tofile="replayed verdict",
+            )
+        )
+
+
+def replay_with_verdict(path: Union[str, Path]) -> ReplayOutcome:
+    """Replay a reproducer and compare against its recorded verdict."""
+    return ReplayOutcome(
+        result=replay_reproducer(path),
+        recorded=load_recorded_result(path),
+    )

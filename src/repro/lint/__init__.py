@@ -18,7 +18,12 @@ and the paper artifacts' reproducibility — actually rest on:
   ``repro.analysis.runner`` must be statically picklable;
 * **robustness** (SPB501): crash/recovery/fault code must not swallow
   exceptions (``except ...: pass``) or use unseeded randomness —
-  campaign failures must stay loud and reproducers replayable.
+  campaign failures must stay loud and reproducers replayable;
+* **artifact I/O** (SPB502): result-writing code in ``repro.analysis``
+  / ``repro.fault`` must not use bare ``open(..., "w")`` /
+  ``json.dump`` / ``Path.write_text`` — artifacts route through the
+  atomic, manifested writer in :mod:`repro.durability` so a crash can
+  never leave a truncated report.
 
 Use :func:`lint_paths` / :func:`lint_source` programmatically, or the
 ``repro lint`` CLI (``python -m repro.lint``).  Rules support per-line
@@ -30,6 +35,7 @@ from __future__ import annotations
 
 # Importing the rule modules registers their rules.
 from . import (  # noqa: F401
+    artifact_io,
     determinism,
     pool_safety,
     robustness,

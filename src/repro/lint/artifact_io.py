@@ -1,0 +1,111 @@
+"""Artifact-I/O lint (SPB502): result files must be written atomically.
+
+A harness that studies crash consistency must not itself write results
+crash-inconsistently.  A bare ``open(path, "w")`` + ``json.dump`` (or
+``Path.write_text``) tears under SIGKILL: the next consumer reads a
+truncated JSON report that may even parse.  All result/artifact writes
+in the analysis and fault layers must instead route through
+:func:`repro.durability.write_artifact` (atomic rename + SHA-256 sidecar
+manifest) or :func:`repro.durability.atomic_write_text`.
+
+========  ==========================================================
+SPB502    in ``repro.analysis`` / ``repro.fault``: a bare builtin
+          ``open(..., "w"/"a"/"x"/"+")`` call, a ``json.dump`` call
+          (the file-handle form — ``json.dumps`` to a string is
+          fine), or a ``.write_text(...)`` / ``.write_bytes(...)``
+          method call
+========  ==========================================================
+
+Reads (``open(path)``), string serialization (``json.dumps``), and the
+durability package itself (which *implements* the atomic discipline) are
+out of scope.  Writes that are genuinely not result artifacts — e.g. a
+debug dump guarded by a flag — can carry the usual
+``# secpb-lint: disable=SPB502`` escape hatch.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Tuple
+
+from .base import LintContext, Rule, in_scope, register_rule
+from .determinism import _ImportMap
+from .findings import Finding
+
+ARTIFACT_SCOPES: Tuple[str, ...] = (
+    "repro.analysis",
+    "repro.fault",
+)
+"""Layers that write experiment/campaign artifacts to disk."""
+
+_WRITE_MODE_CHARS = set("wax+")
+
+_WRITE_METHODS = ("write_text", "write_bytes")
+
+
+def _literal_mode(call: ast.Call) -> Optional[str]:
+    """The ``open`` mode argument when it is a string literal, else None."""
+    if len(call.args) >= 2:
+        mode = call.args[1]
+    else:
+        mode = next(
+            (kw.value for kw in call.keywords if kw.arg == "mode"), None
+        )
+    if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+        return mode.value
+    return None
+
+
+@register_rule
+class ArtifactIORule(Rule):
+    code = "SPB502"
+    summary = (
+        "analysis/fault code must not write result files with bare "
+        "open(..., 'w') / json.dump / Path.write_text — route through "
+        "repro.durability.write_artifact so a crash cannot leave a "
+        "truncated artifact"
+    )
+
+    def applies_to(self, ctx: LintContext) -> bool:
+        return in_scope(ctx.module, ARTIFACT_SCOPES)
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        imports = _ImportMap(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name) and func.id == "open":
+                mode = _literal_mode(node)
+                if mode is not None and _WRITE_MODE_CHARS & set(mode):
+                    yield ctx.finding(
+                        self,
+                        node,
+                        f"bare open(..., {mode!r}) write: a crash mid-write "
+                        "leaves a truncated artifact; use "
+                        "repro.durability.write_artifact (or "
+                        "atomic_write_text) instead",
+                    )
+                continue
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _WRITE_METHODS
+            ):
+                yield ctx.finding(
+                    self,
+                    node,
+                    f".{func.attr}(...) is a non-atomic write: a crash "
+                    "mid-write leaves a truncated artifact; use "
+                    "repro.durability.write_artifact (or "
+                    "atomic_write_text) instead",
+                )
+                continue
+            resolved = imports.resolve_call(func)
+            if resolved == ("json", "dump"):
+                yield ctx.finding(
+                    self,
+                    node,
+                    "json.dump to a file handle is a non-atomic write; "
+                    "serialize with json.dumps and write through "
+                    "repro.durability.write_artifact instead",
+                )

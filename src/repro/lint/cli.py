@@ -14,6 +14,7 @@ from typing import List, Optional, Sequence
 
 # Importing the rule modules populates the registry before any lint run.
 from . import (  # noqa: F401
+    artifact_io,
     determinism,
     pool_safety,
     robustness,

@@ -30,6 +30,11 @@ _JOB_CONSTRUCTORS = {"SimJob", "SimSpec"}
 _POOL_SUBMIT_METHODS = {"submit", "map", "imap", "imap_unordered", "apply_async"}
 _POOL_SUBMIT_FUNCTIONS = {"run_jobs", "run_tasks"}
 
+#: run_tasks/run_jobs keyword arguments that stay in the parent process
+#: (the durability checkpoint hooks) and therefore never cross the
+#: pickle boundary — callbacks and tokens here may be closures.
+_PARENT_SIDE_KWARGS = {"on_result", "stop", "completed"}
+
 
 def _call_name(node: ast.Call) -> str:
     func = node.func
@@ -49,9 +54,12 @@ def _is_job_payload_call(node: ast.Call) -> bool:
 
 
 def _payload_nodes(node: ast.Call) -> Iterator[ast.AST]:
+    parent_side = _call_name(node) in _POOL_SUBMIT_FUNCTIONS
     for arg in node.args:
         yield arg
     for keyword in node.keywords:
+        if parent_side and keyword.arg in _PARENT_SIDE_KWARGS:
+            continue
         yield keyword.value
 
 

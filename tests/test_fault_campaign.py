@@ -339,3 +339,118 @@ class TestCampaignReport:
         payload = json.loads(report.to_json())
         assert payload["total"] == report.total
         assert payload["failed"] == []
+
+
+class TestReplayVerdicts:
+    """ISSUE 5 satellite: reproducers embed the recorded verdict so a
+    replay can detect divergence (code changed -> verdict changed)."""
+
+    def _case(self):
+        return _case(num_stores=20, crash_index=10)
+
+    def test_reproducer_v2_embeds_recorded_result(self, tmp_path):
+        import dataclasses
+
+        from repro.fault.campaign import execute_case as run_one
+        from repro.fault.minimize import (
+            REPRODUCER_VERSION,
+            load_recorded_result,
+        )
+
+        case = self._case()
+        result = run_one(case)
+        path = save_reproducer(case, tmp_path / "r.json", result=result)
+        payload = json.loads(path.read_text())
+        assert payload["version"] == REPRODUCER_VERSION == 2
+        assert payload["recorded_result"] == dataclasses.asdict(result)
+        assert load_recorded_result(path) == result
+        # The case itself still round-trips (verdict is metadata).
+        assert load_reproducer(path) == case
+
+    def test_reproducer_lands_with_manifest(self, tmp_path):
+        from repro.durability import ArtifactStatus, verify_artifact
+
+        path = save_reproducer(self._case(), tmp_path / "r.json")
+        assert verify_artifact(path) is ArtifactStatus.OK
+
+    def test_replay_with_verdict_agreement(self, tmp_path):
+        from repro.fault.campaign import execute_case as run_one
+        from repro.fault.minimize import replay_with_verdict
+
+        case = self._case()
+        path = save_reproducer(case, tmp_path / "r.json", result=run_one(case))
+        outcome = replay_with_verdict(path)
+        assert not outcome.diverged
+        assert outcome.diff() == ""
+
+    def test_replay_with_verdict_divergence_and_diff(self, tmp_path):
+        import dataclasses
+
+        from repro.fault.campaign import execute_case as run_one
+        from repro.fault.minimize import replay_with_verdict
+
+        case = self._case()
+        stale = dataclasses.replace(
+            run_one(case), observed="old-verdict", passed=False
+        )
+        path = save_reproducer(case, tmp_path / "r.json", result=stale)
+        outcome = replay_with_verdict(path)
+        assert outcome.diverged
+        diff = outcome.diff()
+        assert "--- recorded verdict" in diff
+        assert "+++ replayed verdict" in diff
+        assert "old-verdict" in diff
+
+    def test_version1_reproducer_loads_without_verdict(self, tmp_path):
+        from repro.fault.minimize import (
+            load_recorded_result,
+            replay_with_verdict,
+        )
+
+        payload = case_to_dict(self._case())
+        payload["version"] = 1
+        path = tmp_path / "v1.json"
+        path.write_text(json.dumps(payload))
+        assert load_reproducer(path) == self._case()
+        assert load_recorded_result(path) is None
+        # A v1 file can never diverge - only pass/fail.
+        assert not replay_with_verdict(path).diverged
+
+    def test_future_version_rejected(self, tmp_path):
+        payload = case_to_dict(self._case())
+        payload["version"] = 99
+        path = tmp_path / "v99.json"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="unsupported reproducer"):
+            load_reproducer(path)
+
+    def test_campaign_reproducers_carry_verdicts(self, tmp_path, monkeypatch):
+        import dataclasses
+
+        from repro.fault import campaign as campaign_mod
+        from repro.fault.minimize import load_recorded_result
+
+        real_execute = campaign_mod.execute_case
+
+        def grade_one_wrong(case):
+            result = real_execute(case)
+            if "brownout-0.5" in case.case_id:
+                result = dataclasses.replace(
+                    result, passed=False, observed="forced-failure"
+                )
+            return result
+
+        monkeypatch.setattr(campaign_mod, "execute_case", grade_one_wrong)
+        spec = CampaignSpec(
+            schemes=("cobcm",), crash_points=1, gapped_points=1,
+            num_stores=20,
+        )
+        report = run_campaign(spec, jobs=1, minimize=True)
+        assert report.reproducers
+        repro = report.reproducers[0]
+        path = save_reproducer(
+            repro.minimized, tmp_path / "r.json", result=repro.result
+        )
+        recorded = load_recorded_result(path)
+        assert recorded is not None
+        assert recorded.observed == "forced-failure"

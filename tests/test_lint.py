@@ -703,3 +703,136 @@ def test_findings_sorted_deterministically():
         """
     )
     assert [f.line for f in findings] == sorted(f.line for f in findings)
+
+
+# --- SPB502: artifact I/O must be atomic -----------------------------------
+
+
+def lint_artifact(source: str, **kwargs):
+    """Lint a snippet as if it lived inside the analysis layer."""
+    return lint_source(
+        textwrap.dedent(source), "fixture.py", module=ANALYSIS_MODULE, **kwargs
+    )
+
+
+def test_spb502_bare_open_write():
+    findings = lint_artifact(
+        """
+        def save(path, text):
+            with open(path, "w") as handle:
+                handle.write(text)
+        """
+    )
+    assert codes(findings) == ["SPB502"]
+
+
+def test_spb502_append_and_exclusive_modes_flagged():
+    findings = lint_artifact(
+        """
+        def save(path):
+            open(path, "a").close()
+            open(path, mode="xb").close()
+        """
+    )
+    assert codes(findings) == ["SPB502", "SPB502"]
+
+
+def test_spb502_json_dump_to_handle():
+    findings = lint_artifact(
+        """
+        import json
+
+        def save(handle, payload):
+            json.dump(payload, handle)
+        """
+    )
+    assert codes(findings) == ["SPB502"]
+
+
+def test_spb502_path_write_text():
+    findings = lint_artifact(
+        """
+        def save(path, text):
+            path.write_text(text)
+        """
+    )
+    assert codes(findings) == ["SPB502"]
+
+
+def test_spb502_reads_and_dumps_are_clean():
+    findings = lint_artifact(
+        """
+        import json
+
+        def load(path):
+            with open(path) as handle:
+                return json.load(handle)
+
+        def render(payload):
+            return json.dumps(payload, sort_keys=True)
+        """
+    )
+    assert findings == []
+
+
+def test_spb502_read_mode_literal_is_clean():
+    findings = lint_artifact(
+        """
+        def load(path):
+            with open(path, "rb") as handle:
+                return handle.read()
+        """
+    )
+    assert findings == []
+
+
+def test_spb502_atomic_writer_is_clean():
+    findings = lint_artifact(
+        """
+        from repro.durability import write_artifact
+
+        def save(path, text):
+            write_artifact(path, text)
+        """
+    )
+    assert findings == []
+
+
+def test_spb502_out_of_scope_module_is_clean():
+    findings = lint_source(
+        textwrap.dedent(
+            """
+            def save(path, text):
+                with open(path, "w") as handle:
+                    handle.write(text)
+            """
+        ),
+        "fixture.py",
+        module="repro.workloads.fixture",
+    )
+    assert codes(findings) == []
+
+
+def test_spb502_fault_layer_in_scope():
+    findings = lint_source(
+        textwrap.dedent(
+            """
+            def save(path, text):
+                path.write_bytes(text)
+            """
+        ),
+        "fixture.py",
+        module="repro.fault.minimize",
+    )
+    assert codes(findings) == ["SPB502"]
+
+
+def test_spb502_suppression():
+    findings = lint_artifact(
+        """
+        def debug_dump(path, text):
+            with open(path, "w") as handle:  # secpb-lint: disable=SPB502
+                handle.write(text)
+        """
+    )
+    assert findings == []
