@@ -65,6 +65,8 @@ from ..core.controller import TimingCalibration
 from ..core.schemes import SCHEMES
 from ..core.simulator import SecurePersistencySimulator
 from ..durability.interrupt import RunInterrupted, StopToken
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracing import LANE_STORES, Tracer
 from ..security.bmf import ForestTimingModel
 from ..sim.config import SystemConfig
 from ..sim.stats import SimulationResult
@@ -228,6 +230,69 @@ def _record(
         on_result(key, value)
 
 
+class _RunnerObs:
+    """Per-run observability sink: metrics registry + optional job trace.
+
+    Built once per :func:`run_tasks` call when the caller passed a
+    ``metrics`` registry and/or a ``tracer``; the harvest paths call its
+    methods per task outcome.  Wall-clock quantities (task seconds, job
+    trace timestamps) are inherently non-deterministic across worker
+    counts, so the histogram is registered ``deterministic=False`` and
+    excluded from reproducible metric snapshots; the event *counters*
+    (completed/failed/retried/...) are deterministic and do compare
+    across ``--jobs`` values.
+    """
+
+    def __init__(self, metrics: Optional[MetricsRegistry], tracer: Optional[Tracer]):
+        self._metrics = metrics
+        if tracer is not None:
+            self._emit_job = tracer.bind_complete("runner.job", "runner", LANE_STORES)
+            self._t0 = time.perf_counter()
+        else:
+            self._emit_job = None
+
+    def _count(self, name: str, help: str) -> None:
+        if self._metrics is not None:
+            self._metrics.counter(name, help).inc()
+
+    def run_started(self, total: int, resumed: int) -> None:
+        if self._metrics is not None:
+            self._metrics.counter(
+                "runner.tasks_total", "Tasks submitted across runs"
+            ).inc(total)
+            self._metrics.counter(
+                "runner.tasks_resumed", "Tasks satisfied from a resumed journal"
+            ).inc(resumed)
+
+    def task_done(self, key: JobKey, elapsed: float) -> None:
+        if self._metrics is not None:
+            self._metrics.counter(
+                "runner.tasks_completed", "Tasks that produced a result"
+            ).inc()
+            self._metrics.histogram(
+                "runner.task_seconds",
+                "Per-task wall-clock seconds",
+                deterministic=False,
+            ).observe(elapsed)
+        if self._emit_job is not None:
+            end = time.perf_counter() - self._t0
+            self._emit_job(
+                max(0.0, end - elapsed), elapsed, {"key": str(key)}
+            )
+
+    def task_failed(self) -> None:
+        self._count("runner.tasks_failed", "Tasks recorded as JobFailure")
+
+    def task_timeout(self) -> None:
+        self._count("runner.tasks_timeout", "Tasks abandoned at harvest timeout")
+
+    def task_retried(self) -> None:
+        self._count("runner.tasks_retried", "Task executions retried after an exception")
+
+    def task_salvaged(self) -> None:
+        self._count("runner.tasks_salvaged", "In-flight results salvaged at interrupt")
+
+
 def _run_tasks_serial(
     tasks: Sequence[Any],
     fn: Callable[[Any], Any],
@@ -235,6 +300,7 @@ def _run_tasks_serial(
     retries: int,
     stop: Optional[StopToken],
     on_result: Optional[Callable[[JobKey, Any], None]],
+    obs: Optional[_RunnerObs] = None,
 ) -> Dict[JobKey, Any]:
     total = len(tasks)
     results: Dict[JobKey, Any] = {}
@@ -248,6 +314,8 @@ def _run_tasks_serial(
                 result, elapsed = _timed_call(fn, task)
             except Exception as exc:
                 if attempts <= retries:
+                    if obs is not None:
+                        obs.task_retried()
                     logger.info(
                         "[%d/%d] %s failed (%s), retrying",
                         index, total, task.key, type(exc).__name__,
@@ -259,10 +327,14 @@ def _run_tasks_serial(
                     results, task.key,
                     _failure_for(task.key, exc, attempts), on_result,
                 )
+                if obs is not None:
+                    obs.task_failed()
                 logger.info("[%d/%d] %s: FAILED after %d attempt(s)",
                             index, total, task.key, attempts)
                 break
             _record(results, task.key, result, on_result)
+            if obs is not None:
+                obs.task_done(task.key, elapsed)
             logger.info(
                 "[%d/%d] %s: done in %.2fs", index, total, task.key, elapsed
             )
@@ -307,6 +379,7 @@ def _salvage_in_flight(
     remaining: Sequence[Tuple[Any, Any]],
     results: Dict[JobKey, Any],
     on_result: Optional[Callable[[JobKey, Any], None]],
+    obs: Optional[_RunnerObs] = None,
 ) -> None:
     """At interrupt: cancel what never started, keep what finished anyway.
 
@@ -331,6 +404,8 @@ def _salvage_in_flight(
         except Exception:
             continue  # failed in flight; the resume will retry it
         _record(results, task.key, result, on_result)
+        if obs is not None:
+            obs.task_salvaged()
         logger.info("%s: salvaged at interrupt", task.key)
 
 
@@ -343,6 +418,7 @@ def _run_tasks_pool(
     timeout: Optional[float],
     stop: Optional[StopToken],
     on_result: Optional[Callable[[JobKey, Any], None]],
+    obs: Optional[_RunnerObs] = None,
 ) -> Dict[JobKey, Any]:
     total = len(tasks)
     results: Dict[JobKey, Any] = {}
@@ -371,7 +447,7 @@ def _run_tasks_pool(
                     interrupted = True
                     attempts[key] -= 1  # this attempt never concluded
                     _salvage_in_flight(
-                        futures[index - 1:], results, on_result
+                        futures[index - 1:], results, on_result, obs
                     )
                     assert stop is not None
                     raise RunInterrupted(stop.reason, results)
@@ -379,6 +455,8 @@ def _run_tasks_pool(
                     # The worker may be wedged; record and move on — the
                     # remaining futures are still harvested (salvage).
                     timed_out = True
+                    if obs is not None:
+                        obs.task_timeout()
                     _record(
                         results, key,
                         JobFailure(
@@ -406,6 +484,8 @@ def _run_tasks_pool(
                 except Exception as exc:
                     if attempts[key] <= retries:
                         retry.append(task)
+                        if obs is not None:
+                            obs.task_retried()
                         logger.info(
                             "[%d/%d] %s failed (%s), retrying",
                             index, len(futures), key, type(exc).__name__,
@@ -417,12 +497,16 @@ def _run_tasks_pool(
                         results, key,
                         _failure_for(key, exc, attempts[key]), on_result,
                     )
+                    if obs is not None:
+                        obs.task_failed()
                     logger.info(
                         "[%d/%d] %s: FAILED after %d attempt(s)",
                         index, len(futures), key, attempts[key],
                     )
                     continue
                 _record(results, key, result, on_result)
+                if obs is not None:
+                    obs.task_done(key, elapsed)
                 logger.info(
                     "[%d/%d] %s: done in %.2fs",
                     index, len(futures), key, elapsed,
@@ -448,6 +532,8 @@ def run_tasks(
     completed: Optional[Dict[JobKey, Any]] = None,
     on_result: Optional[Callable[[JobKey, Any], None]] = None,
     stop: Optional[StopToken] = None,
+    metrics: Optional[MetricsRegistry] = None,
+    tracer: Optional[Tracer] = None,
 ) -> Dict[JobKey, Any]:
     """Execute keyed tasks and return ``{task.key: result}`` in task order.
 
@@ -487,6 +573,13 @@ def run_tasks(
             :class:`~repro.durability.interrupt.RunInterrupted` whose
             ``completed`` carries every result so far (journaled +
             fresh + salvaged).
+        metrics: optional :class:`repro.obs.MetricsRegistry` receiving
+            runner counters (tasks total / resumed / completed / failed /
+            retried / timeout / salvaged) and the non-deterministic
+            ``runner.task_seconds`` wall-clock histogram.
+        tracer: optional :class:`repro.obs.Tracer` receiving one
+            ``runner.job`` complete-event per finished task, keyed by
+            wall seconds since the run started.
 
     Returns:
         Results keyed and ordered by ``task.key``; under
@@ -505,6 +598,13 @@ def run_tasks(
         return {}
     done: Dict[JobKey, Any] = dict(completed) if completed else {}
     todo = [task for task in tasks if task.key not in done]
+    obs = (
+        _RunnerObs(metrics, tracer)
+        if metrics is not None or tracer is not None
+        else None
+    )
+    if obs is not None:
+        obs.run_started(len(tasks), len(tasks) - len(todo))
     if done:
         logger.info(
             "resuming: %d/%d task(s) already journaled, %d to run",
@@ -515,12 +615,12 @@ def run_tasks(
             fresh: Dict[JobKey, Any] = {}
         elif workers <= 1 or len(todo) <= 1:
             fresh = _run_tasks_serial(
-                todo, fn, on_error, retries, stop, on_result
+                todo, fn, on_error, retries, stop, on_result, obs
             )
         else:
             fresh = _run_tasks_pool(
                 todo, fn, workers, on_error, retries, timeout, stop,
-                on_result,
+                on_result, obs,
             )
     except RunInterrupted as exc:
         # Re-raise with the journaled prefix merged in, so the caller's
@@ -541,6 +641,8 @@ def run_jobs(
     completed: Optional[Dict[JobKey, Any]] = None,
     on_result: Optional[Callable[[JobKey, Any], None]] = None,
     stop: Optional[StopToken] = None,
+    metrics: Optional[MetricsRegistry] = None,
+    tracer: Optional[Tracer] = None,
 ) -> Dict[JobKey, SimulationResult]:
     """Execute ``jobs`` and return ``{job.key: result}`` in job order.
 
@@ -567,4 +669,6 @@ def run_jobs(
         completed=completed,
         on_result=on_result,
         stop=stop,
+        metrics=metrics,
+        tracer=tracer,
     )

@@ -14,17 +14,26 @@ Commands:
 * ``profile`` — cProfile one simulation and report host-time cost per
   component plus the timing model's simulated-cycle breakdown.
 * ``lint`` — run secpb-lint (determinism / scheme-invariant /
-  stats-hygiene / pool-safety static analysis) over the source tree.
+  stats-hygiene / pool-safety / observability static analysis) over the
+  source tree.
 * ``faultcampaign`` — seeded fault-injection campaign: adversarial
   crashes, battery brownouts, and post-crash tamper across every scheme,
   with failing-case minimization to replayable JSON reproducers.
+* ``trace`` — run one simulation with structured event tracing and write
+  a Chrome-trace/Perfetto-loadable timeline keyed by simulated cycles.
 * ``list`` — available benchmarks, schemes and experiments.
+
+Every subcommand takes ``--verbose``/``-v`` and ``--quiet``/``-q``;
+``main`` configures stderr logging once through
+:func:`repro.obs.configure_logging`, so diagnostics (e.g. workload
+quarantine warnings, runner progress, campaign heartbeats) behave
+identically everywhere instead of depending on which subcommand happened
+to call ``logging.basicConfig``.
 """
 
 from __future__ import annotations
 
 import argparse
-import logging
 import sys
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -50,6 +59,7 @@ from .durability import (
 )
 from .energy.advisor import recommend
 from .energy.costs import LI_THIN, SUPERCAP
+from .obs import MetricsRegistry, Tracer, configure_logging
 from .workloads.spec import all_benchmarks, build_trace
 
 TIMING_EXPERIMENTS = ("table4", "fig6", "fig7", "fig8", "fig9")
@@ -91,24 +101,52 @@ def _report_interrupt(exc: RunInterrupted, journal: Optional[str]) -> int:
     return EXIT_RESUMABLE
 
 
+def _write_metrics(registry: MetricsRegistry, path: str) -> None:
+    """Export a registry: ``.json`` paths get JSON, the rest Prometheus text."""
+    if path.endswith(".json"):
+        write_artifact(path, registry.to_json())
+    else:
+        write_artifact(path, registry.to_prometheus_text())
+    print(f"metrics saved to {path}", file=sys.stderr)
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
-    if args.verbose:
-        # Per-job progress/timing from the runner goes to stderr, keeping
-        # the rendered artifact on stdout byte-identical across --jobs.
-        logging.basicConfig(
-            level=logging.INFO, stream=sys.stderr, format="%(message)s"
-        )
     journal, resuming = _resolve_journal(args)
-    if journal is not None and args.id not in TIMING_EXPERIMENTS:
+    timing_only = [
+        flag
+        for flag, value in (
+            ("--journal/--resume", journal),
+            ("--metrics", args.metrics),
+            ("--trace", args.trace),
+        )
+        if value is not None
+    ]
+    if timing_only and args.id not in TIMING_EXPERIMENTS:
         raise SystemExit(
-            f"error: --journal/--resume only apply to the trace-driven "
-            f"experiments ({', '.join(TIMING_EXPERIMENTS)}); "
+            f"error: {', '.join(timing_only)} only apply to the "
+            f"trace-driven experiments ({', '.join(TIMING_EXPERIMENTS)}); "
             f"{args.id} finishes instantly"
         )
     kwargs: Dict[str, Any] = {}
     if args.id in TIMING_EXPERIMENTS:
         kwargs.update(num_ops=args.num_ops, seed=args.seed, jobs=args.jobs)
+    # Observability and checkpointing both ride on runner_opts, which the
+    # experiment forwards verbatim to run_jobs.  Per-job progress/timing
+    # goes to stderr via logging, keeping the rendered artifact on stdout
+    # byte-identical across --jobs and across --metrics/--trace.
+    runner_opts: Dict[str, Any] = {}
+    registry = MetricsRegistry() if args.metrics is not None else None
+    if registry is not None:
+        runner_opts["metrics"] = registry
+    tracer = (
+        Tracer(process_name=f"repro-experiment-{args.id}", clock_unit="seconds")
+        if args.trace is not None
+        else None
+    )
+    if tracer is not None:
+        runner_opts["tracer"] = tracer
     writer = None
+    token = None
     if journal is not None:
         spec_payload = {
             "experiment": args.id,
@@ -137,14 +175,12 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             writer.append(key, simulation_result_to_payload(result))
 
         token = _stop_token(args)
-        kwargs["runner_opts"] = {
-            "completed": completed,
-            "on_result": on_result,
-            "stop": token,
-        }
+        runner_opts.update(completed=completed, on_result=on_result, stop=token)
+    if runner_opts:
+        kwargs["runner_opts"] = runner_opts
     try:
-        if journal is not None:
-            with graceful_shutdown(kwargs["runner_opts"]["stop"]):
+        if token is not None:
+            with graceful_shutdown(token):
                 result = run_experiment(args.id, **kwargs)
         else:
             result = run_experiment(args.id, **kwargs)
@@ -157,6 +193,11 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     if args.save:
         save_result(result, args.save)
         print(f"result saved to {args.save}", file=sys.stderr)
+    if registry is not None:
+        _write_metrics(registry, args.metrics)
+    if tracer is not None:
+        tracer.save_chrome(args.trace)
+        print(f"trace saved to {args.trace}", file=sys.stderr)
     return 0
 
 
@@ -218,7 +259,9 @@ def _cmd_multicore(args: argparse.Namespace) -> int:
         traces = sharing_traces(
             cores, args.num_ops, share_fraction=args.share, seed=args.seed
         )
-        result = MultiCoreSecPBSimulator(cores, scheme).run(traces)
+        result = MultiCoreSecPBSimulator(cores, scheme).run(
+            traces, warmup_frac=args.warmup
+        )
         if base_cycles is None:
             base_cycles = result.cycles
         migrations = int(result.stats.get("coherence.migrations", 0))
@@ -299,10 +342,6 @@ def _cmd_faultcampaign(args: argparse.Namespace) -> int:
     from .fault import CampaignSpec, run_campaign, save_reproducer
     from .fault.minimize import replay_with_verdict
 
-    if args.verbose:
-        logging.basicConfig(
-            level=logging.INFO, stream=sys.stderr, format="%(message)s"
-        )
     if args.replay:
         outcome = replay_with_verdict(args.replay)
         result = outcome.result
@@ -339,6 +378,12 @@ def _cmd_faultcampaign(args: argparse.Namespace) -> int:
         num_stores=args.num_stores,
         num_asids=args.asids,
     )
+    registry = MetricsRegistry() if args.metrics is not None else None
+    tracer = (
+        Tracer(process_name="repro-faultcampaign", clock_unit="seconds")
+        if args.trace is not None
+        else None
+    )
     token = _stop_token(args)
     try:
         with graceful_shutdown(token):
@@ -350,6 +395,8 @@ def _cmd_faultcampaign(args: argparse.Namespace) -> int:
                 journal=journal,
                 resume=resuming,
                 stop=token,
+                metrics=registry,
+                tracer=tracer,
             )
     except RunInterrupted as exc:
         return _report_interrupt(exc, journal)
@@ -372,7 +419,42 @@ def _cmd_faultcampaign(args: argparse.Namespace) -> int:
                 result=repro.result,
             )
             print(f"reproducer saved to {path}", file=sys.stderr)
+    if registry is not None:
+        _write_metrics(registry, args.metrics)
+    if tracer is not None:
+        tracer.save_chrome(args.trace)
+        print(f"trace saved to {args.trace}", file=sys.stderr)
     return 0 if report.all_passed else 1
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .core.simulator import SecurePersistencySimulator
+    from .obs import load_trace_schema, record_simulation, validate_or_raise
+
+    scheme = None if args.scheme == "bbb" else get_scheme(args.scheme)
+    trace = build_trace(args.benchmark, args.num_ops, args.seed)
+    tracer = Tracer(process_name=f"secpb-{args.benchmark}-{args.scheme}")
+    simulator = SecurePersistencySimulator(scheme=scheme, tracer=tracer)
+    result = simulator.run(trace, args.warmup)
+    payload = tracer.to_chrome()
+    # Self-check against the checked-in schema before anything lands on
+    # disk — a malformed event should fail here, not in the viewer.
+    validate_or_raise(payload, load_trace_schema())
+    tracer.save_chrome(args.out)
+    print(
+        f"benchmark {args.benchmark}, scheme {args.scheme}: "
+        f"{result.cycles:.0f} cycles, {len(tracer.events)} trace event(s)"
+    )
+    print(f"trace saved to {args.out} (load in Perfetto / chrome://tracing)",
+          file=sys.stderr)
+    if args.jsonl:
+        tracer.save_jsonl(args.jsonl)
+        print(f"event stream saved to {args.jsonl}", file=sys.stderr)
+    if args.metrics:
+        registry = MetricsRegistry()
+        record_simulation(registry, result)
+        _write_metrics(registry, args.metrics)
+    return 0
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -387,9 +469,29 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="SecPB (HPCA 2023) reproduction toolkit",
     )
+    # One logging contract for every subcommand: the flags live on a
+    # shared parent parser and main() runs the repro.obs bootstrap once,
+    # so diagnostics no longer depend on per-subcommand basicConfig calls.
+    common = argparse.ArgumentParser(add_help=False)
+    output = common.add_mutually_exclusive_group()
+    output.add_argument(
+        "--verbose",
+        "-v",
+        action="store_true",
+        help="INFO-level diagnostics on stderr (runner progress, "
+        "campaign heartbeats)",
+    )
+    output.add_argument(
+        "--quiet",
+        "-q",
+        action="store_true",
+        help="suppress warnings; only errors reach stderr",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    experiment = sub.add_parser("experiment", help="regenerate a paper artifact")
+    experiment = sub.add_parser(
+        "experiment", parents=[common], help="regenerate a paper artifact"
+    )
     experiment.add_argument("id", choices=sorted(EXPERIMENTS))
     experiment.add_argument("--num-ops", type=int, default=20_000)
     experiment.add_argument(
@@ -430,14 +532,23 @@ def build_parser() -> argparse.ArgumentParser:
         f"exit {EXIT_RESUMABLE} (resumable)",
     )
     experiment.add_argument(
-        "--verbose",
-        "-v",
-        action="store_true",
-        help="per-job progress/timing on stderr",
+        "--metrics",
+        metavar="PATH",
+        default=None,
+        help="export runner metrics after the sweep (.json for JSON, "
+        "anything else for Prometheus text)",
+    )
+    experiment.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="write a Chrome-trace timeline of per-job wall time",
     )
     experiment.set_defaults(func=_cmd_experiment)
 
-    simulate = sub.add_parser("simulate", help="run one benchmark/scheme pair")
+    simulate = sub.add_parser(
+        "simulate", parents=[common], help="run one benchmark/scheme pair"
+    )
     simulate.add_argument("benchmark", choices=all_benchmarks())
     simulate.add_argument(
         "--scheme", default="all", choices=["all"] + SPECTRUM_ORDER
@@ -453,7 +564,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     simulate.set_defaults(func=_cmd_simulate)
 
-    advisor = sub.add_parser("advisor", help="scheme choice for a battery budget")
+    advisor = sub.add_parser(
+        "advisor", parents=[common], help="scheme choice for a battery budget"
+    )
     advisor.add_argument("budget", type=float, help="battery volume in mm^3")
     advisor.add_argument(
         "--technology", choices=["supercap", "li-thin"], default="supercap"
@@ -466,29 +579,45 @@ def build_parser() -> argparse.ArgumentParser:
     advisor.set_defaults(func=_cmd_advisor)
 
     rectime = sub.add_parser(
-        "recovery-time", help="crash-to-consistency window per scheme"
+        "recovery-time",
+        parents=[common],
+        help="crash-to-consistency window per scheme",
     )
     rectime.add_argument("--entries", type=int, default=32)
     rectime.set_defaults(func=_cmd_recovery_time)
 
-    multicore = sub.add_parser("multicore", help="multi-core scaling study")
+    multicore = sub.add_parser(
+        "multicore", parents=[common], help="multi-core scaling study"
+    )
     multicore.add_argument("--scheme", default="cm", choices=SPECTRUM_ORDER)
     multicore.add_argument("--num-ops", type=int, default=4000)
     multicore.add_argument("--share", type=float, default=0.15)
     multicore.add_argument("--seed", type=int, default=1)
+    multicore.add_argument(
+        "--warmup",
+        type=float,
+        default=0.0,
+        help="leading fraction of the lockstep rounds excluded from "
+        "timing (same snapshot/subtract protocol as single-core)",
+    )
     multicore.set_defaults(func=_cmd_multicore)
 
-    demo = sub.add_parser("recover-demo", help="crash-recovery walkthrough")
+    demo = sub.add_parser(
+        "recover-demo", parents=[common], help="crash-recovery walkthrough"
+    )
     demo.add_argument("--scheme", default="cobcm", choices=SPECTRUM_ORDER)
     demo.set_defaults(func=_cmd_recover_demo)
 
-    workloads = sub.add_parser("workloads", help="profile characterization")
+    workloads = sub.add_parser(
+        "workloads", parents=[common], help="profile characterization"
+    )
     workloads.add_argument("--num-ops", type=int, default=20_000)
     workloads.add_argument("--seed", type=int, default=1)
     workloads.set_defaults(func=_cmd_workloads)
 
     profile = sub.add_parser(
         "profile",
+        parents=[common],
         help="cProfile one simulation: host time per component + "
         "simulated-cycle breakdown",
     )
@@ -505,8 +634,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     lint = sub.add_parser(
         "lint",
+        parents=[common],
         help="secpb-lint static analysis (determinism, scheme invariants, "
-        "stats hygiene, pool safety)",
+        "stats hygiene, pool safety, observability)",
     )
     lint.add_argument("paths", nargs="*", default=["src"])
     lint.add_argument("--format", choices=["text", "json"], default="text")
@@ -517,6 +647,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     faultcampaign = sub.add_parser(
         "faultcampaign",
+        parents=[common],
         help="fault-injection campaign: adversarial crashes, brownouts, "
         "tamper detection, minimized reproducers",
     )
@@ -585,10 +716,69 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip failing-case minimization",
     )
-    faultcampaign.add_argument("--verbose", "-v", action="store_true")
+    faultcampaign.add_argument(
+        "--metrics",
+        metavar="PATH",
+        default=None,
+        help="export campaign/runner metrics (.json for JSON, anything "
+        "else for Prometheus text); ignored with --replay",
+    )
+    faultcampaign.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="write a Chrome-trace timeline of per-case wall time; "
+        "ignored with --replay",
+    )
     faultcampaign.set_defaults(func=_cmd_faultcampaign)
 
-    lister = sub.add_parser("list", help="available schemes/benchmarks/experiments")
+    trace_cmd = sub.add_parser(
+        "trace",
+        parents=[common],
+        help="run one traced simulation and write a Perfetto-loadable "
+        "Chrome trace keyed by simulated cycles",
+    )
+    trace_cmd.add_argument(
+        "--benchmark", default="gamess", choices=all_benchmarks()
+    )
+    trace_cmd.add_argument(
+        "--scheme", default="m", choices=["bbb"] + SPECTRUM_ORDER
+    )
+    trace_cmd.add_argument("--num-ops", type=int, default=4000)
+    trace_cmd.add_argument("--seed", type=int, default=1)
+    trace_cmd.add_argument(
+        "--warmup",
+        type=float,
+        default=0.0,
+        help="warmup fraction (events are emitted for the whole run; "
+        "warmup only affects the reported stats)",
+    )
+    trace_cmd.add_argument(
+        "--out",
+        metavar="PATH",
+        default="secpb-trace.json",
+        help="Chrome trace-event output (default: %(default)s)",
+    )
+    trace_cmd.add_argument(
+        "--jsonl",
+        metavar="PATH",
+        default=None,
+        help="also write the raw event stream as JSON Lines",
+    )
+    trace_cmd.add_argument(
+        "--metrics",
+        metavar="PATH",
+        default=None,
+        help="also export the run's stats as metrics (.json for JSON, "
+        "anything else for Prometheus text)",
+    )
+    trace_cmd.set_defaults(func=_cmd_trace)
+
+    lister = sub.add_parser(
+        "list",
+        parents=[common],
+        help="available schemes/benchmarks/experiments",
+    )
     lister.set_defaults(func=_cmd_list)
 
     return parser
@@ -598,6 +788,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    configure_logging(
+        verbose=getattr(args, "verbose", False),
+        quiet=getattr(args, "quiet", False),
+    )
     return args.func(args)
 
 

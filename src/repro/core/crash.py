@@ -24,12 +24,13 @@ import enum
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from ..obs.tracing import LANE_CRASH, Tracer
 from ..security.engine import SecureMemory
 from ..security.tuple import TupleComponent, TupleState, audit_observable_state
 from ..sim.config import CACHE_BLOCK_BYTES, SystemConfig
 from ..sim.hierarchy import MemoryHierarchy
 from .recovery import ObserverPolicy, RecoveryObserver, RecoveryReport
-from .schemes import Scheme
+from .schemes import ALL_STEPS, Scheme
 from .secpb import DrainedEntry, SecPB, SecPBEntry
 
 
@@ -88,6 +89,11 @@ class SecurePersistentSystem:
         scheme: which SecPB scheme coordinates metadata persistence.
         config: system configuration (SecPB geometry, watermarks).
         observer_policy: blocking or warning crash observation.
+        tracer: optional :class:`repro.obs.Tracer` receiving the
+            crash/recovery phase events (``crash.begin`` / ``crash.drain``
+            per battery-drained entry / ``crash.brownout`` / ``crash.end``
+            / ``recovery.begin`` / ``recovery.end``) keyed by the system's
+            logical store/persist clock.
     """
 
     def __init__(
@@ -95,9 +101,19 @@ class SecurePersistentSystem:
         scheme: Scheme,
         config: Optional[SystemConfig] = None,
         observer_policy: ObserverPolicy = ObserverPolicy.BLOCKING,
+        tracer: Optional[Tracer] = None,
     ):
         self.config = config if config is not None else SystemConfig()
         self.scheme = scheme
+        self.tracer = tracer
+        if tracer is not None:
+            self._late_step_names = [
+                s.value for s in ALL_STEPS if s in scheme.late_steps
+            ]
+            self._trace_drain = tracer.bind_complete("crash.drain", "crash", LANE_CRASH)
+        else:
+            self._late_step_names = []
+            self._trace_drain = None
         self.memory = SecureMemory(atomic=True)
         self.hierarchy = MemoryHierarchy(self.config)
         self.secpb = SecPB(self.config.secpb, scheme)
@@ -111,6 +127,11 @@ class SecurePersistentSystem:
         self._crashed = False
         # Blocks whose latest store was lost to a battery brownout.
         self._unpersisted: List[int] = []
+
+    def _mark(self, name: str, args: Optional[Dict[str, object]] = None) -> None:
+        """Emit a crash/recovery phase instant (no-op without a tracer)."""
+        if self.tracer is not None:
+            self.tracer.instant(name, "crash", LANE_CRASH, self._logical_time, args)
 
     # Store path ------------------------------------------------------------
 
@@ -204,6 +225,14 @@ class SecurePersistentSystem:
             )
         self._crashed = True
         self.hierarchy.discard_volatile()
+        self._mark(
+            "crash.begin",
+            {
+                "kind": "power",
+                "occupancy": self.secpb.occupancy,
+                "energy_budget_nj": energy_budget_nj,
+            },
+        )
 
         if energy_budget_nj is None:
             entries = self.secpb.drain_all()
@@ -229,7 +258,14 @@ class SecurePersistentSystem:
             lost = self.secpb.discard_remaining()
 
         late_steps = len(entries) * len(self.scheme.late_steps)
+        trace_drain = self._trace_drain
         for entry in entries:
+            if trace_drain is not None:
+                trace_drain(
+                    self._logical_time,
+                    1.0,
+                    {"addr": entry.block_addr, "late_steps": self._late_step_names},
+                )
             self._persist_drained(entry)
         self.hierarchy.mc.flush_wpq()
 
@@ -247,14 +283,22 @@ class SecurePersistentSystem:
                 and not (not t.complete and t.block_addr in lost_set)
             ]
         )
+        verdict = CrashVerdict.PARTIAL if unpersisted else CrashVerdict.COMPLETE
+        if unpersisted:
+            self._mark(
+                "crash.brownout",
+                {"lost_blocks": len(unpersisted), "energy_spent_nj": spent},
+            )
+        self._mark(
+            "crash.end",
+            {"entries_drained": len(entries), "verdict": verdict.value},
+        )
         return CrashReport(
             entries_drained=len(entries),
             late_steps_completed=late_steps,
             invariants_ok=ok,
             invariant_violation=violation,
-            verdict=(
-                CrashVerdict.PARTIAL if unpersisted else CrashVerdict.COMPLETE
-            ),
+            verdict=verdict,
             unpersisted_blocks=unpersisted,
             energy_budget_nj=energy_budget_nj,
             energy_spent_nj=spent,
@@ -279,15 +323,34 @@ class SecurePersistentSystem:
             raise RuntimeError(
                 "system already crashed: no process is left to app-crash"
             )
+        self._mark(
+            "crash.begin",
+            {
+                "kind": "app",
+                "policy": policy.value,
+                "occupancy": self.secpb.occupancy,
+            },
+        )
         if policy is AppCrashPolicy.DRAIN_ALL:
             entries = self.secpb.drain_all()
         else:
             entries = self.secpb.drain_process(asid)
         late_steps = len(entries) * len(self.scheme.late_steps)
+        trace_drain = self._trace_drain
         for entry in entries:
+            if trace_drain is not None:
+                trace_drain(
+                    self._logical_time,
+                    1.0,
+                    {"addr": entry.block_addr, "late_steps": self._late_step_names},
+                )
             self._persist_drained(entry)
         ok, violation = audit_observable_state(
             [t for t in self._tuples if t.complete]
+        )
+        self._mark(
+            "crash.end",
+            {"entries_drained": len(entries), "verdict": CrashVerdict.COMPLETE.value},
         )
         return CrashReport(
             entries_drained=len(entries),
@@ -306,9 +369,12 @@ class SecurePersistentSystem:
         failures attributable to the declared losses) rather than FAILED.
         """
         gap_open = self.secpb.occupancy > 0
-        return self.observer.observe(
+        self._mark("recovery.begin", {"blocks": len(self.expected)})
+        report = self.observer.observe(
             self.expected, gap_open=gap_open, unpersisted=self._unpersisted
         )
+        self._mark("recovery.end", {"verdict": report.verdict.value})
+        return report
 
 
 class GappedPersistentSystem:

@@ -121,12 +121,30 @@ class MultiCoreSecPBSimulator:
             calibration if calibration is not None else TimingCalibration()
         )
 
-    def run(self, traces: Sequence[Trace]) -> MultiCoreResult:
-        """Run one trace per core; returns the makespan and stats."""
+    def run(
+        self, traces: Sequence[Trace], warmup_frac: float = 0.0
+    ) -> MultiCoreResult:
+        """Run one trace per core; returns the makespan and stats.
+
+        Args:
+            traces: one memory-reference trace per core.
+            warmup_frac: fraction of the lockstep rounds treated as
+                warmup, mirroring the single-core simulator's protocol:
+                state (caches, SecPBs, ownership) is built during warmup
+                but its cycles, instructions and counters are excluded
+                from the reported result via the StatsCollector
+                snapshot/subtract discipline.  Because cores advance in
+                lockstep rounds, the boundary falls at the same round on
+                every core, so per-core cycles and every cross-core
+                aggregate (makespan, IPC, shared-engine counters) are
+                measured-region only.
+        """
         if len(traces) != self.cores:
             raise ValueError(
                 f"expected {self.cores} traces, got {len(traces)}"
             )
+        if not 0.0 <= warmup_frac < 1.0:
+            raise ValueError("warmup_frac must be in [0, 1)")
         config = self.config
         cal = self.calibration
         stats = StatsCollector()
@@ -167,7 +185,19 @@ class MultiCoreSecPBSimulator:
 
         # Lockstep interleave: one op per core per round.
         max_len = max(lengths)
+        warmup_rounds = int(max_len * warmup_frac)
+        warmup_stats: Dict[str, float] = {}
+        warmup_clocks = [0.0] * self.cores
+        warmup_instructions = [0] * self.cores
         for index in range(max_len):
+            if index == warmup_rounds and warmup_rounds:
+                # Warmup boundary (same round on every core): freeze the
+                # shared counters and each core's progress so the report
+                # covers only the measured region — the multi-core
+                # mirror of the single-core snapshot/subtract protocol.
+                warmup_stats = stats.snapshot()
+                warmup_clocks = [core.clock for core in cores]
+                warmup_instructions = [core.instructions for core in cores]
             for core_id, ops in enumerate(iterators):
                 if index >= len(ops):
                     continue
@@ -264,8 +294,18 @@ class MultiCoreSecPBSimulator:
                 if core.secpb.above_high_watermark:
                     start_drains(core_id, core.clock)
 
-        per_core = [core.clock for core in cores]
-        total_instructions = sum(core.instructions for core in cores)
+        if warmup_rounds:
+            # Exclude warmup-region counts so shared counters (engine
+            # contention, coherence traffic) and everything derived from
+            # them cover only the measured region, matching the
+            # single-core path.
+            stats.subtract(warmup_stats)
+        per_core = [
+            core.clock - warm for core, warm in zip(cores, warmup_clocks)
+        ]
+        total_instructions = sum(core.instructions for core in cores) - sum(
+            warmup_instructions
+        )
         stats.set("instructions", total_instructions)
         return MultiCoreResult(
             scheme=self.scheme.name if self.scheme else "bbb",

@@ -78,6 +78,34 @@ def estimate_recovery_time(
     )
 
 
+def crash_recovery_time(
+    report, scheme: Scheme, config: Optional[SystemConfig] = None
+) -> RecoveryTimeEstimate:
+    """Crash-to-consistency time for an *actual* crash, not the worst case.
+
+    ``report`` is duck-typed on ``entries_drained`` (a ``CrashReport``
+    from :mod:`repro.core.crash`, or anything with that attribute) so
+    this module stays import-light.  Only entries the battery actually
+    drained are billed: a crash with an empty SecPB takes zero cycles,
+    and blocks lost to a brownout (``unpersisted_blocks``) were never
+    drained, so they contribute nothing — the observer's wait ends when
+    the battery gives up, not when the lost data would have landed.
+    """
+    config = config if config is not None else SystemConfig()
+    entries = int(report.entries_drained)
+    if entries < 0:
+        raise ValueError("entries_drained must be non-negative")
+    per_entry = per_entry_drain_cycles(scheme, config)
+    total = per_entry * entries
+    return RecoveryTimeEstimate(
+        scheme=scheme.name,
+        entries=entries,
+        per_entry_cycles=per_entry,
+        total_cycles=total,
+        total_us=total / (config.clock_ghz * 1000.0),
+    )
+
+
 def recovery_time_table(
     config: Optional[SystemConfig] = None,
 ) -> Dict[str, RecoveryTimeEstimate]:

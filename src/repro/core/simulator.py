@@ -32,6 +32,7 @@ from __future__ import annotations
 from heapq import heappop, heappush
 from typing import Callable, Dict, List, Optional
 
+from ..obs.tracing import LANE_DRAIN, LANE_STALLS, LANE_STORES, Tracer
 from ..security.metadata_cache import MetadataCaches
 from ..sim.config import SystemConfig
 from ..sim.engine import BoundedPipeline
@@ -39,7 +40,7 @@ from ..sim.hierarchy import MemoryHierarchy
 from ..sim.stats import SimulationResult, StatsCollector
 from ..workloads.trace import Trace
 from .controller import SecPBController, TimingCalibration
-from .schemes import Scheme
+from .schemes import ALL_STEPS, Scheme
 from .secpb import SecPB
 
 BBB_SCHEME_NAME = "bbb"
@@ -55,6 +56,13 @@ class SecurePersistencySimulator:
         calibration: free timing constants (shared across schemes).
         bmt_levels_fn: optional per-page BMT update height (the BMF hook
             for the Fig. 9 study).
+        tracer: optional :class:`repro.obs.Tracer` receiving the store
+            lifecycle (accept/coalesce/drain with the scheme's early/late
+            step split, backflow and store-buffer stalls) keyed by
+            simulated cycles.  ``None`` (the default) binds no hooks:
+            each hot-loop site degenerates to an ``is not None`` test on
+            a local, and a traced run's timing and statistics are
+            byte-identical to an untraced one.
     """
 
     def __init__(
@@ -64,12 +72,14 @@ class SecurePersistencySimulator:
         calibration: Optional[TimingCalibration] = None,
         bmt_levels_fn: Optional[Callable[[int], int]] = None,
         value_independent_coalescing: bool = True,
+        tracer: Optional[Tracer] = None,
     ):
         self.config = config if config is not None else SystemConfig()
         self.scheme = scheme
         self.calibration = calibration if calibration is not None else TimingCalibration()
         self.value_independent_coalescing = value_independent_coalescing
         self._bmt_levels_fn = bmt_levels_fn
+        self.tracer = tracer
 
     @property
     def scheme_name(self) -> str:
@@ -159,6 +169,40 @@ class SecurePersistencySimulator:
         # into the closure below: drains serialize on one free_at point.
         drain_free_at = 0.0
 
+        # Optional tracing: bind emit closures once per run; every site
+        # below guards on ``hook is not None`` so an untraced run pays
+        # one local test per store and emits nothing.  Events never feed
+        # back into timing or stats.
+        tracer = self.tracer
+        if tracer is not None:
+            scheme_obj = self.scheme
+            early_names = [
+                s.value
+                for s in ALL_STEPS
+                if scheme_obj is not None and s in scheme_obj.early_steps
+            ]
+            late_names = [
+                s.value
+                for s in ALL_STEPS
+                if scheme_obj is not None and s in scheme_obj.late_steps
+            ]
+            coalesce_names = [
+                s.value
+                for s in ALL_STEPS
+                if scheme_obj is not None and s in scheme_obj.eager_value_dependent
+            ]
+            trace_accept = tracer.bind_complete("secpb.accept", "secpb", LANE_STORES)
+            trace_coalesce = tracer.bind_complete("secpb.coalesce", "secpb", LANE_STORES)
+            trace_drain = tracer.bind_complete("secpb.drain", "secpb", LANE_DRAIN)
+            trace_backflow = tracer.bind_complete("secpb.backflow", "stall", LANE_STALLS)
+            trace_sb_stall = tracer.bind_complete("core.sb_stall", "stall", LANE_STALLS)
+            trace_forced = tracer.bind_instant("secpb.forced_drain", "secpb", LANE_STALLS)
+            trace_occupancy = tracer.bind_counter("secpb.occupancy", LANE_DRAIN)
+        else:
+            early_names = late_names = coalesce_names = []
+            trace_accept = trace_coalesce = trace_drain = None
+            trace_backflow = trace_sb_stall = trace_forced = trace_occupancy = None
+
         def drain_one(now: float) -> None:
             """Drain the oldest entry; its slot frees at MC completion."""
             nonlocal drain_free_at
@@ -172,6 +216,16 @@ class SecurePersistencySimulator:
             drain_free_at = completion
             heappush(drain_completions, completion)
             count_drain_service()
+            if trace_drain is not None:
+                trace_drain(
+                    start,
+                    service,
+                    {
+                        "addr": addr,
+                        "late_steps": late_names,
+                        "occupancy": len(secpb_entries),
+                    },
+                )
 
         def start_drains(now: float) -> None:
             """Watermark policy: drain oldest entries down to the low mark."""
@@ -251,10 +305,14 @@ class SecurePersistencySimulator:
                         # progress and the buffer can never be over-committed.
                         drain_one(clock)
                         count_forced_drain()
+                        if trace_forced is not None:
+                            trace_forced(clock, {"addr": block_addr})
                         continue
                     release = drain_completions[0]
                     count_backflow_stall()
                     add_backflow_cycles(release - clock)
+                    if trace_backflow is not None:
+                        trace_backflow(clock, release - clock, {"addr": block_addr})
                     clock = release
 
                 entry = secpb_allocate(block_addr)
@@ -264,6 +322,8 @@ class SecurePersistencySimulator:
                 occupancy_now = len(secpb_entries) + len(drain_completions)
                 if occupancy_now > peak_effective_occupancy:
                     peak_effective_occupancy = occupancy_now
+                if trace_occupancy is not None:
+                    trace_occupancy(clock, {"effective": occupancy_now})
             else:
                 secpb_coalesce(entry)
                 allocated = False
@@ -279,12 +339,34 @@ class SecurePersistencySimulator:
                 # Insecure BBB fast path: the pipelined buffer write has
                 # no metadata work, so acceptance never serializes and
                 # the store completes the moment it is accepted.
+                timing = None
                 completion = accept_start
             accept_free_at = completion
+            if trace_accept is not None:
+                if allocated:
+                    trace_accept(
+                        accept_start,
+                        completion - accept_start,
+                        {
+                            "addr": block_addr,
+                            "early_steps": early_names,
+                            "counter_miss": (
+                                timing.counter_miss if timing is not None else False
+                            ),
+                        },
+                    )
+                else:
+                    trace_coalesce(
+                        accept_start,
+                        completion - accept_start,
+                        {"addr": block_addr, "early_steps": coalesce_names},
+                    )
 
             # The core stalls only when the store buffer is full.
             stall = push_store(clock, completion)
             clock += stall + 1.0  # one issue slot per store
+            if trace_sb_stall is not None and stall > 0.0:
+                trace_sb_stall(clock - stall - 1.0, stall, {"addr": block_addr})
 
             if len(secpb_entries) >= high_watermark_entries:
                 start_drains(clock)
@@ -326,6 +408,7 @@ def run_scheme(
     calibration: Optional[TimingCalibration] = None,
     bmt_levels_fn: Optional[Callable[[int], int]] = None,
     warmup_frac: float = 0.0,
+    tracer: Optional[Tracer] = None,
 ) -> SimulationResult:
     """Convenience one-shot: simulate ``trace`` under ``scheme``."""
     simulator = SecurePersistencySimulator(
@@ -333,5 +416,6 @@ def run_scheme(
         scheme=scheme,
         calibration=calibration,
         bmt_levels_fn=bmt_levels_fn,
+        tracer=tracer,
     )
     return simulator.run(trace, warmup_frac)

@@ -31,12 +31,15 @@ Grading contract per case kind:
 from __future__ import annotations
 
 import json
+import logging
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from random import Random
 from typing import Any, Dict, List, Optional, Tuple, Union
 
 from ..analysis.runner import JobFailure, run_tasks
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracing import Tracer
 from ..core.crash import AppCrashPolicy, CrashVerdict, GappedPersistentSystem, SecurePersistentSystem
 from ..core.recovery import RecoveryVerdict
 from ..core.schemes import SPECTRUM_ORDER, get_scheme
@@ -59,7 +62,12 @@ from .cases import (
 )
 from .inject import inject_tamper
 
+logger = logging.getLogger(__name__)
+
 GAPPED_SCHEME = "gapped"
+
+#: Fresh case completions between progress-heartbeat log records.
+HEARTBEAT_EVERY = 25
 
 _POLICIES: Dict[str, AppCrashPolicy] = {
     "drain-all": AppCrashPolicy.DRAIN_ALL,
@@ -496,6 +504,8 @@ def run_campaign(
     journal: Optional[Union[str, Path]] = None,
     resume: bool = False,
     stop: Optional[StopToken] = None,
+    metrics: Optional[MetricsRegistry] = None,
+    tracer: Optional[Tracer] = None,
 ) -> CampaignReport:
     """Build, execute, and grade a full campaign.
 
@@ -518,12 +528,22 @@ def run_campaign(
     order, an interrupted-then-resumed campaign renders byte-identically
     to an uninterrupted one (minimization runs only once all cases have
     completed).
+
+    With ``metrics`` set, verdict counters (``campaign.cases_passed`` /
+    ``cases_failed`` / ``job_failures``, covering *fresh* — not
+    journal-resumed — cases), end-of-run gauges (``campaign.cases_total``
+    / ``pass_rate`` / ``reproducers``) and the runner's task counters
+    accumulate into the registry, and a progress heartbeat is logged
+    every :data:`HEARTBEAT_EVERY` fresh cases (INFO level — visible
+    under ``--verbose``).  With ``tracer`` set, the runner emits one
+    ``runner.job`` complete event per fresh case (wall-clock timeline,
+    not simulated cycles).
     """
     spec = spec if spec is not None else CampaignSpec()
     cases = build_cases(spec)
     writer: Optional[JournalWriter] = None
     completed: Dict[Any, Any] = {}
-    on_result = None
+    journal_append = None
     if journal is not None:
         if resume:
             writer, payloads = open_journal(
@@ -538,15 +558,43 @@ def run_campaign(
                 journal, JOURNAL_KIND, spec_payload(spec)
             )
 
-        def on_result(key: Any, outcome: Any) -> None:
+        def journal_append(key: Any, outcome: Any) -> None:
             assert writer is not None
             writer.append(key, outcome_to_payload(outcome))
+
+    todo = len(cases) - len(completed)
+    fresh_done = [0]
+
+    def on_result(key: Any, outcome: Any) -> None:
+        # Journal first: the durable record must land even if a metrics
+        # sink ever misbehaves.
+        if journal_append is not None:
+            journal_append(key, outcome)
+        fresh_done[0] += 1
+        if metrics is not None:
+            if isinstance(outcome, JobFailure):
+                metrics.counter(
+                    "campaign.job_failures", "Cases that raised instead of grading"
+                ).inc()
+            elif outcome.passed:
+                metrics.counter(
+                    "campaign.cases_passed", "Fresh cases graded PASS"
+                ).inc()
+            else:
+                metrics.counter(
+                    "campaign.cases_failed", "Fresh cases graded FAIL"
+                ).inc()
+        if fresh_done[0] % HEARTBEAT_EVERY == 0:
+            logger.info(
+                "campaign progress: %d/%d fresh case(s) done", fresh_done[0], todo
+            )
 
     try:
         raw = run_tasks(
             cases, execute_case, workers=jobs, on_error="record",
             retries=1, timeout=timeout,
             completed=completed, on_result=on_result, stop=stop,
+            metrics=metrics, tracer=tracer,
         )
     finally:
         # On RunInterrupted the journal already holds every completed
@@ -577,4 +625,15 @@ def run_campaign(
                     json=json.dumps(case_to_dict(minimal), sort_keys=True),
                 )
             )
+    if metrics is not None:
+        passed = len(report.results) - len(report.failures)
+        metrics.gauge(
+            "campaign.cases_total", "Cases in the last completed campaign"
+        ).set(report.total)
+        metrics.gauge(
+            "campaign.pass_rate", "Graded pass fraction of the last campaign"
+        ).set(passed / report.total if report.total else 1.0)
+        metrics.gauge(
+            "campaign.reproducers", "Minimal reproducers emitted"
+        ).set(len(report.reproducers))
     return report

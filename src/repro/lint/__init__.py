@@ -11,9 +11,10 @@ and the paper artifacts' reproducibility — actually rest on:
   set must be a suffix of the Fig. 4 dependency chain, early/late must
   partition the five steps, names must encode the late set, and the
   Sec. IV-A coalescing classes must be sound;
-* **stats hygiene** (SPB301-303): counters move only through the
+* **stats hygiene** (SPB301-304): counters move only through the
   StatsCollector protocol (add/snapshot/subtract) introduced with the
-  warmup-contamination fix;
+  warmup-contamination fix, and any function advertising a warmup
+  parameter must actually subtract the warmup snapshot;
 * **pool safety** (SPB401-403): everything submitted through
   ``repro.analysis.runner`` must be statically picklable;
 * **robustness** (SPB501): crash/recovery/fault code must not swallow
@@ -23,7 +24,11 @@ and the paper artifacts' reproducibility — actually rest on:
   / ``repro.fault`` must not use bare ``open(..., "w")`` /
   ``json.dump`` / ``Path.write_text`` — artifacts route through the
   atomic, manifested writer in :mod:`repro.durability` so a crash can
-  never leave a truncated report.
+  never leave a truncated report;
+* **observability** (SPB601-602): no ``print()`` in library scope and
+  no ad-hoc logging configuration outside ``repro.obs`` — diagnostics
+  flow through one logging bootstrap, hot-path instrumentation through
+  the bound no-op tracing hooks.
 
 Use :func:`lint_paths` / :func:`lint_source` programmatically, or the
 ``repro lint`` CLI (``python -m repro.lint``).  Rules support per-line
@@ -37,6 +42,7 @@ from __future__ import annotations
 from . import (  # noqa: F401
     artifact_io,
     determinism,
+    observability,
     pool_safety,
     robustness,
     scheme_invariants,

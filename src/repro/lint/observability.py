@@ -1,0 +1,105 @@
+"""Observability lint (SPB601-SPB602).
+
+PR 6 centralised all user-facing output: human-readable text goes
+through the CLI entry points, diagnostics go through the standard
+``logging`` tree rooted by :func:`repro.obs.configure_logging`, and
+hot-path instrumentation goes through the bound no-op hooks in
+:mod:`repro.obs.tracing`.  These rules keep stray channels from
+reappearing:
+
+========  ==========================================================
+SPB601    ``print()`` in library scope (any ``repro.*`` module other
+          than the CLI front-ends) — library output bypasses
+          ``--quiet``/``--verbose``, corrupts machine-readable stdout
+          (JSON, Prometheus text), and in hot-path modules costs
+          cycles the tracing-off benchmark gate budgets at zero
+SPB602    ad-hoc logging configuration (``logging.basicConfig`` /
+          ``dictConfig`` / ``fileConfig`` / root-logger mutation)
+          outside ``repro.obs`` — the per-subcommand ``basicConfig``
+          duplication this PR removed silently dropped
+          ``workloads.store`` quarantine warnings in most
+          subcommands; one bootstrap owns the root configuration
+========  ==========================================================
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .base import LintContext, Rule, in_scope, register_rule
+from .findings import Finding
+
+_LIBRARY_SCOPE = ("repro",)
+_CLI_MODULES = (
+    "repro.cli",
+    "repro.__main__",
+    "repro.lint.cli",
+    "repro.lint.__main__",
+)
+_CONFIG_OWNER = ("repro.obs",)
+_CONFIG_CALLS = {"basicConfig", "dictConfig", "fileConfig"}
+
+
+def _is_cli_module(module: str) -> bool:
+    return module in _CLI_MODULES
+
+
+@register_rule
+class LibraryPrintRule(Rule):
+    code = "SPB601"
+    summary = (
+        "print() in library scope: route diagnostics through logging and "
+        "user-facing output through the CLI front-ends"
+    )
+
+    def applies_to(self, ctx: LintContext) -> bool:
+        return in_scope(ctx.module, _LIBRARY_SCOPE) and not _is_cli_module(
+            ctx.module
+        )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"
+            ):
+                yield ctx.finding(
+                    self,
+                    node,
+                    "print() in library code bypasses --quiet/--verbose and "
+                    "pollutes machine-readable stdout: use "
+                    "logging.getLogger(__name__) for diagnostics, or return "
+                    "the text to the CLI layer",
+                )
+
+
+@register_rule
+class AdHocLoggingConfigRule(Rule):
+    code = "SPB602"
+    summary = (
+        "logging configuration outside repro.obs: one bootstrap "
+        "(repro.obs.configure_logging) owns the root handler"
+    )
+
+    def applies_to(self, ctx: LintContext) -> bool:
+        return in_scope(ctx.module, _LIBRARY_SCOPE) and not in_scope(
+            ctx.module, _CONFIG_OWNER
+        )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Attribute
+            ):
+                if node.func.attr in _CONFIG_CALLS:
+                    yield ctx.finding(
+                        self,
+                        node,
+                        f"{node.func.attr}() configures the logging tree "
+                        "ad hoc: call repro.obs.configure_logging() once at "
+                        "the entry point instead, so every subcommand gets "
+                        "identical stderr logging and --quiet/--verbose "
+                        "keep working",
+                    )

@@ -17,13 +17,18 @@ SPB302    mutating a result's ``.stats`` mapping after the fact
 SPB303    calling ``stats.snapshot()`` in a function that never calls
           ``subtract()`` — a snapshot that is never subtracted is the
           warmup-contamination bug waiting to recur
+SPB304    a function that accepts a warmup parameter and reads the
+          collector (``as_dict()``) without ever calling
+          ``subtract()`` — it promises warmup exclusion in its
+          signature but reports contaminated counters (the exact shape
+          of the multi-core regression fixed in PR 6)
 ========  ==========================================================
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Iterator, List
+from typing import Iterator, List, Union
 
 from .base import DETERMINISM_SCOPES, LintContext, Rule, in_scope, register_rule
 from .findings import Finding, Severity
@@ -162,3 +167,57 @@ class SnapshotWithoutSubtractRule(Rule):
                         "subtract(): warmup-region counts will leak into "
                         "PPTI/NWPE and every derived figure",
                     )
+
+
+@register_rule
+class WarmupParamWithoutSubtractRule(Rule):
+    code = "SPB304"
+    severity = Severity.WARNING
+    summary = (
+        "function takes a warmup parameter and reads the stats collector "
+        "without calling subtract() — the signature promises warmup "
+        "exclusion the body does not deliver"
+    )
+
+    def applies_to(self, ctx: LintContext) -> bool:
+        return in_scope(ctx.module, _STATS_SCOPES) and not _defines_stats_collector(
+            ctx
+        )
+
+    @staticmethod
+    def _warmup_args(
+        node: Union[ast.FunctionDef, ast.AsyncFunctionDef]
+    ) -> List[ast.arg]:
+        args = node.args
+        candidates = args.posonlyargs + args.args + args.kwonlyargs
+        return [arg for arg in candidates if "warmup" in arg.arg]
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        is_stats = SnapshotWithoutSubtractRule._is_stats_receiver
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            warmup_args = self._warmup_args(node)
+            if not warmup_args:
+                continue
+            reads_collector = False
+            has_subtract = False
+            for inner in ast.walk(node):
+                if isinstance(inner, ast.Call) and isinstance(
+                    inner.func, ast.Attribute
+                ):
+                    if not is_stats(inner.func.value):
+                        continue
+                    if inner.func.attr == "as_dict":
+                        reads_collector = True
+                    elif inner.func.attr == "subtract":
+                        has_subtract = True
+            if reads_collector and not has_subtract:
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"{node.name}() accepts {warmup_args[0].arg!r} and reads "
+                    "the stats collector but never calls subtract(): the "
+                    "warmup region contaminates everything derived from the "
+                    "reported counters (the multi-core per-core stats bug)",
+                )

@@ -1,0 +1,60 @@
+"""repro.obs: the sanctioned observability layer.
+
+Three pieces, all optional and all zero-overhead when unused:
+
+* :mod:`~repro.obs.tracing` — structured event tracing for the
+  simulator, crash/recovery engine and runner, exported as JSONL and as
+  Chrome trace-event JSON (Perfetto-loadable) keyed by simulated cycles;
+* :mod:`~repro.obs.metrics` — a counters/gauges/histograms registry with
+  Prometheus text and JSON exports, threaded through
+  :func:`repro.analysis.runner.run_tasks` and
+  :func:`repro.fault.campaign.run_campaign`;
+* :mod:`~repro.obs.bootstrap` — the CLI's single logging configuration
+  (replacing the per-subcommand ``logging.basicConfig`` calls).
+
+Instrumented modules bind hooks once per run and guard each site with
+``if hook is not None`` — secpb-lint's SPB6xx family forbids ad-hoc
+``print``/``logging`` configuration outside this package, keeping the
+hot path clean and the simulator's byte-identical guarantee intact.
+
+Layering: imports only :mod:`repro.durability` (artifact writes); the
+simulator, runner, campaign and CLI all build on it.
+"""
+
+from .bootstrap import LOG_FORMAT, configure_logging
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    record_simulation,
+    sanitize_metric_name,
+)
+from .schema import SchemaError, load_trace_schema, validate, validate_or_raise
+from .tracing import (
+    LANE_CRASH,
+    LANE_DRAIN,
+    LANE_STALLS,
+    LANE_STORES,
+    Tracer,
+)
+
+__all__ = [
+    "LANE_CRASH",
+    "LANE_DRAIN",
+    "LANE_STALLS",
+    "LANE_STORES",
+    "LOG_FORMAT",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SchemaError",
+    "Tracer",
+    "configure_logging",
+    "load_trace_schema",
+    "record_simulation",
+    "sanitize_metric_name",
+    "validate",
+    "validate_or_raise",
+]

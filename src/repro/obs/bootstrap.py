@@ -1,0 +1,70 @@
+"""One logging bootstrap for every CLI entry point.
+
+Before this module, two subcommands (``experiment``, ``faultcampaign``)
+each called ``logging.basicConfig`` — and only under ``--verbose`` — so
+every other subcommand ran with no handler at all and warnings from
+library modules (e.g. :mod:`repro.workloads.store`'s trace-cache
+quarantine warning) fell into Python's last-resort stderr handler or
+vanished.  :func:`configure_logging` is called exactly once per CLI
+invocation, for *every* subcommand, and is idempotent: repeated calls
+(tests invoke ``main()`` many times per process) adjust the level of the
+one tagged handler instead of stacking duplicates.
+
+Levels: WARNING by default (library warnings are visible, progress chat
+is not), INFO with ``--verbose``, ERROR with ``--quiet``.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import IO, Optional
+
+__all__ = ["LOG_FORMAT", "configure_logging"]
+
+LOG_FORMAT = "%(levelname)s %(name)s: %(message)s"
+
+_HANDLER_TAG = "_secpb_obs_handler"
+
+
+def _tagged_handler(root: logging.Logger) -> Optional[logging.Handler]:
+    for handler in root.handlers:
+        if getattr(handler, _HANDLER_TAG, False):
+            return handler
+    return None
+
+
+def configure_logging(
+    verbose: bool = False,
+    quiet: bool = False,
+    stream: Optional[IO[str]] = None,
+) -> int:
+    """Install (or retune) the CLI's stderr log handler; returns the level.
+
+    Args:
+        verbose: show INFO-level progress messages.
+        quiet: only ERROR and above (wins nothing — combining with
+            ``verbose`` is rejected by the CLI's mutually exclusive
+            group, and here by a ValueError).
+        stream: override the output stream (tests); defaults to the
+            *current* ``sys.stderr`` so pytest's capture sees records.
+    """
+    if verbose and quiet:
+        raise ValueError("verbose and quiet are mutually exclusive")
+    level = logging.ERROR if quiet else (logging.INFO if verbose else logging.WARNING)
+    root = logging.getLogger()
+    handler = _tagged_handler(root)
+    if handler is None:
+        handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+        handler.setFormatter(logging.Formatter(LOG_FORMAT))
+        setattr(handler, _HANDLER_TAG, True)
+        root.addHandler(handler)
+    elif stream is not None and isinstance(handler, logging.StreamHandler):
+        handler.setStream(stream)
+    handler.setLevel(level)
+    # The root level gates records before handlers see them; keep it in
+    # step but never *raise* it above what another test/embedder set
+    # lower than us (caplog et al. manage the root level themselves).
+    if root.level == logging.NOTSET or root.level > level:
+        root.setLevel(level)
+    return level

@@ -1,0 +1,310 @@
+"""Metrics registry: counters, gauges and histograms with text exports.
+
+The registry is the *harness-side* companion of the simulator's
+:class:`~repro.sim.stats.StatsCollector`: where the collector counts
+simulated events inside one run, the registry aggregates across runs —
+per-job wall times and retries in :mod:`repro.analysis.runner`, verdict
+rates in :mod:`repro.fault.campaign`, and per-scheme simulation totals
+bridged in by :func:`record_simulation`.
+
+Two export formats:
+
+* :meth:`MetricsRegistry.to_prometheus_text` — the Prometheus text
+  exposition format (``# HELP`` / ``# TYPE`` + samples), so a scrape of a
+  long campaign's metrics file drops straight into standard dashboards;
+* :meth:`MetricsRegistry.to_json` — a sorted, reproducible JSON object
+  for test assertions and artifact archiving.
+
+Determinism: metrics that measure *wall-clock* behaviour (task seconds,
+heartbeat ages) are registered with ``deterministic=False`` and excluded
+from :meth:`MetricsRegistry.snapshot` by default, so a snapshot taken
+from a ``--jobs 1`` run equals one from a ``--jobs 4`` run bit-for-bit —
+the same guarantee the parallel runner makes for results.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "record_simulation",
+    "sanitize_metric_name",
+]
+
+_INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+_INVALID_FIRST = re.compile(r"^[^a-zA-Z_:]")
+
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+"""Default histogram buckets (seconds scale, Prometheus convention)."""
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Map a dotted metric name onto the Prometheus identifier charset."""
+    sanitized = _INVALID_CHARS.sub("_", name)
+    if _INVALID_FIRST.match(sanitized):
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _format_value(value: float) -> str:
+    """Render a sample value: integral floats print as integers."""
+    if value != value or value in (float("inf"), float("-inf")):
+        return {float("inf"): "+Inf", float("-inf"): "-Inf"}.get(value, "NaN")
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+class Counter:
+    """A monotonically increasing sample (events, retries, cycles)."""
+
+    __slots__ = ("name", "help", "deterministic", "value")
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "", deterministic: bool = True):
+        self.name = name
+        self.help = help
+        self.deterministic = deterministic
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name}: negative increment {amount}")
+        self.value += amount
+
+    def sample(self) -> Dict[str, float]:
+        return {"value": self.value}
+
+
+class Gauge:
+    """A point-in-time sample that may move in either direction."""
+
+    __slots__ = ("name", "help", "deterministic", "value")
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "", deterministic: bool = True):
+        self.name = name
+        self.help = help
+        self.deterministic = deterministic
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def sample(self) -> Dict[str, float]:
+        return {"value": self.value}
+
+
+class Histogram:
+    """A cumulative-bucket distribution (Prometheus histogram semantics)."""
+
+    __slots__ = ("name", "help", "deterministic", "buckets", "counts", "sum", "count")
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+        deterministic: bool = True,
+    ):
+        if not buckets:
+            raise ValueError(f"histogram {name}: at least one bucket required")
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if len(set(bounds)) != len(bounds):
+            raise ValueError(f"histogram {name}: duplicate bucket bounds")
+        self.name = name
+        self.help = help
+        self.deterministic = deterministic
+        self.buckets = bounds
+        # One count per finite bound; the +Inf bucket is ``self.count``.
+        self.counts = [0] * len(bounds)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.sum += value
+        self.count += 1
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[index] += 1
+
+    def sample(self) -> Dict[str, Union[float, List[int], List[float]]]:
+        return {
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+            "sum": self.sum,
+            "count": float(self.count),
+        }
+
+
+MetricType = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """A named collection of metrics with idempotent typed registration.
+
+    Registering an existing name returns the existing metric when the
+    kind matches (so library code can call ``registry.counter(...)``
+    unconditionally) and raises when it does not — a name can never
+    silently change type mid-run.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, MetricType] = {}
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def get(self, name: str) -> Optional[MetricType]:
+        return self._metrics.get(name)
+
+    def _register(self, metric: MetricType) -> MetricType:
+        existing = self._metrics.get(metric.name)
+        if existing is not None:
+            if existing.kind != metric.kind:
+                raise ValueError(
+                    f"metric {metric.name!r} already registered as "
+                    f"{existing.kind}, not {metric.kind}"
+                )
+            return existing
+        self._metrics[metric.name] = metric
+        return metric
+
+    def counter(self, name: str, help: str = "", deterministic: bool = True) -> Counter:
+        metric = self._register(Counter(name, help, deterministic))
+        assert isinstance(metric, Counter)
+        return metric
+
+    def gauge(self, name: str, help: str = "", deterministic: bool = True) -> Gauge:
+        metric = self._register(Gauge(name, help, deterministic))
+        assert isinstance(metric, Gauge)
+        return metric
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+        deterministic: bool = True,
+    ) -> Histogram:
+        metric = self._register(Histogram(name, help, buckets, deterministic))
+        assert isinstance(metric, Histogram)
+        return metric
+
+    def metrics(self) -> List[MetricType]:
+        """All registered metrics, sorted by name (stable export order)."""
+        return [self._metrics[name] for name in sorted(self._metrics)]
+
+    # Exports --------------------------------------------------------------
+
+    def snapshot(self, include_nondeterministic: bool = False) -> Dict[str, object]:
+        """A flat, comparable view: metric name -> sampled values.
+
+        Wall-clock metrics (``deterministic=False``) are excluded by
+        default so snapshots compare equal across worker counts.
+        """
+        out: Dict[str, object] = {}
+        for metric in self.metrics():
+            if not metric.deterministic and not include_nondeterministic:
+                continue
+            out[metric.name] = metric.sample()
+        return out
+
+    def to_json(self, include_nondeterministic: bool = True) -> str:
+        """Sorted JSON export: name -> {kind, help, ...samples}."""
+        payload = {}
+        for metric in self.metrics():
+            if not metric.deterministic and not include_nondeterministic:
+                continue
+            entry: Dict[str, object] = {
+                "kind": metric.kind,
+                "help": metric.help,
+                "deterministic": metric.deterministic,
+            }
+            entry.update(metric.sample())
+            payload[metric.name] = entry
+        return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+    def to_prometheus_text(self) -> str:
+        """The Prometheus text exposition format (one block per metric)."""
+        lines: List[str] = []
+        for metric in self.metrics():
+            name = sanitize_metric_name(metric.name)
+            if metric.help:
+                lines.append(f"# HELP {name} {metric.help}")
+            lines.append(f"# TYPE {name} {metric.kind}")
+            if isinstance(metric, Histogram):
+                # ``observe`` increments every bucket the value fits, so
+                # the stored counts are already cumulative (le semantics).
+                for bound, count in zip(metric.buckets, metric.counts):
+                    lines.append(
+                        f'{name}_bucket{{le="{_format_value(bound)}"}} {count}'
+                    )
+                lines.append(f'{name}_bucket{{le="+Inf"}} {metric.count}')
+                lines.append(f"{name}_sum {_format_value(metric.sum)}")
+                lines.append(f"{name}_count {metric.count}")
+            else:
+                lines.append(f"{name} {_format_value(metric.value)}")
+        return "\n".join(lines) + "\n"
+
+
+def record_simulation(
+    registry: MetricsRegistry,
+    result: "object",
+    prefix: str = "sim",
+) -> None:
+    """Fold one :class:`~repro.sim.stats.SimulationResult` into counters.
+
+    Duck-typed on ``scheme`` / ``cycles`` / ``instructions`` / ``stats``
+    so the fault campaign's report objects can reuse it.  Every counter
+    is deterministic — simulated quantities are reproducible by the
+    runner's byte-identical-parallel guarantee.
+    """
+    scheme = getattr(result, "scheme", "unknown")
+    registry.counter(f"{prefix}.runs", "Simulated runs recorded").inc()
+    registry.counter(
+        f"{prefix}.cycles", "Total simulated cycles across runs"
+    ).inc(float(getattr(result, "cycles", 0.0)))
+    registry.counter(
+        f"{prefix}.instructions", "Total instructions retired across runs"
+    ).inc(float(getattr(result, "instructions", 0)))
+    registry.counter(
+        f"{prefix}.runs_by_scheme.{scheme}", "Simulated runs per scheme"
+    ).inc()
+    stats: Mapping[str, float] = getattr(result, "stats", {}) or {}
+    for key in sorted(stats):
+        value = stats[key]
+        if not isinstance(value, (int, float)):
+            continue
+        gauge_like = key in ("ppti", "nwpe") or key.endswith("occupancy")
+        if gauge_like:
+            registry.gauge(f"{prefix}.stats.{key}", "Last observed value").set(
+                float(value)
+            )
+        elif value >= 0:
+            registry.counter(f"{prefix}.stats.{key}", "Summed simulator counter").inc(
+                float(value)
+            )
+        else:
+            registry.gauge(f"{prefix}.stats.{key}", "Last observed value").set(
+                float(value)
+            )

@@ -1,0 +1,123 @@
+"""A minimal JSON-Schema-subset validator for observability artifacts.
+
+The container ships no third-party schema library, so the checked-in
+trace schema (``trace_schema.json``) is validated with this hand-rolled
+subset.  Supported keywords — the ones the trace schema actually uses:
+
+``type`` (single or list; ``integer`` excludes non-integral floats and
+booleans), ``enum``, ``required``, ``properties``,
+``additionalProperties`` (boolean form), ``items`` (single-schema form),
+``minimum``, ``minLength``, ``minItems``.
+
+Unknown keywords are ignored, matching JSON Schema's open-world rule, so
+the checked-in schema stays loadable by full validators too.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Mapping
+
+__all__ = ["SchemaError", "load_trace_schema", "validate", "validate_or_raise"]
+
+TRACE_SCHEMA_PATH = Path(__file__).resolve().parent / "trace_schema.json"
+
+
+class SchemaError(ValueError):
+    """Raised by :func:`validate_or_raise` with every violation listed."""
+
+    def __init__(self, errors: List[str]):
+        self.errors = list(errors)
+        super().__init__(
+            "schema validation failed:\n" + "\n".join(f"  - {e}" for e in self.errors)
+        )
+
+
+def load_trace_schema() -> Dict[str, Any]:
+    """The checked-in trace-event schema as a plain dict."""
+    with open(TRACE_SCHEMA_PATH, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def _type_ok(instance: Any, expected: str) -> bool:
+    if expected == "object":
+        return isinstance(instance, Mapping)
+    if expected == "array":
+        return isinstance(instance, (list, tuple))
+    if expected == "string":
+        return isinstance(instance, str)
+    if expected == "boolean":
+        return isinstance(instance, bool)
+    if expected == "integer":
+        # JSON has no bool/int aliasing; Python does — exclude bools, and
+        # accept integral floats (json.load of "3.0" or a float-typed ts).
+        if isinstance(instance, bool):
+            return False
+        if isinstance(instance, int):
+            return True
+        return isinstance(instance, float) and instance.is_integer()
+    if expected == "number":
+        return isinstance(instance, (int, float)) and not isinstance(instance, bool)
+    if expected == "null":
+        return instance is None
+    return True  # unknown type names never fail (open-world)
+
+
+def validate(instance: Any, schema: Mapping[str, Any], path: str = "$") -> List[str]:
+    """All violations of ``schema`` by ``instance`` (empty = valid)."""
+    errors: List[str] = []
+
+    expected_type = schema.get("type")
+    if expected_type is not None:
+        options = expected_type if isinstance(expected_type, list) else [expected_type]
+        if not any(_type_ok(instance, option) for option in options):
+            errors.append(
+                f"{path}: expected type {'/'.join(options)}, "
+                f"got {type(instance).__name__}"
+            )
+            return errors  # type mismatch makes further keywords moot
+
+    enum = schema.get("enum")
+    if enum is not None and instance not in enum:
+        errors.append(f"{path}: {instance!r} not in enum {list(enum)}")
+
+    if isinstance(instance, str) and "minLength" in schema:
+        if len(instance) < schema["minLength"]:
+            errors.append(
+                f"{path}: string shorter than minLength {schema['minLength']}"
+            )
+
+    if isinstance(instance, (int, float)) and not isinstance(instance, bool):
+        if "minimum" in schema and instance < schema["minimum"]:
+            errors.append(f"{path}: {instance} below minimum {schema['minimum']}")
+
+    if isinstance(instance, Mapping):
+        properties = schema.get("properties", {})
+        for name in schema.get("required", []):
+            if name not in instance:
+                errors.append(f"{path}: missing required property {name!r}")
+        if schema.get("additionalProperties") is False:
+            extras = sorted(set(instance) - set(properties))
+            if extras:
+                errors.append(f"{path}: unexpected properties {extras}")
+        for name, subschema in properties.items():
+            if name in instance:
+                errors.extend(validate(instance[name], subschema, f"{path}.{name}"))
+
+    if isinstance(instance, (list, tuple)):
+        if "minItems" in schema and len(instance) < schema["minItems"]:
+            errors.append(f"{path}: fewer than minItems {schema['minItems']}")
+        items = schema.get("items")
+        if isinstance(items, Mapping):
+            for index, element in enumerate(instance):
+                errors.extend(validate(element, items, f"{path}[{index}]"))
+
+    return errors
+
+
+def validate_or_raise(instance: Any, schema: Mapping[str, Any]) -> None:
+    """:func:`validate`, raising :class:`SchemaError` on any violation."""
+    errors = validate(instance, schema)
+    if errors:
+        raise SchemaError(errors)

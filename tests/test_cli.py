@@ -324,3 +324,162 @@ class TestResumableFlags:
         path.write_text(json.dumps(payload))
         assert main(["faultcampaign", "--replay", str(path)]) == 0
         assert "PASS replay/demo" in capsys.readouterr().out
+
+
+class TestTraceCommand:
+    """ISSUE 6: the `repro trace` subcommand."""
+
+    def test_writes_schema_valid_chrome_trace(self, capsys, tmp_path):
+        import json
+
+        from repro.obs import load_trace_schema, validate
+
+        out = tmp_path / "trace.json"
+        assert (
+            main(
+                [
+                    "trace", "--benchmark", "gamess", "--scheme", "m",
+                    "--num-ops", "2000", "--out", str(out),
+                ]
+            )
+            == 0
+        )
+        captured = capsys.readouterr()
+        assert "trace event(s)" in captured.out
+        assert "Perfetto" in captured.err
+        payload = json.loads(out.read_text())
+        assert validate(payload, load_trace_schema()) == []
+
+    def test_jsonl_and_metrics_sidecars(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "trace.json"
+        jsonl = tmp_path / "trace.jsonl"
+        metrics = tmp_path / "metrics.json"
+        assert (
+            main(
+                [
+                    "trace", "--num-ops", "1500", "--out", str(out),
+                    "--jsonl", str(jsonl), "--metrics", str(metrics),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        lines = jsonl.read_text().splitlines()
+        assert lines and all(json.loads(line)["name"] for line in lines)
+        payload = json.loads(metrics.read_text())
+        assert payload["sim.runs"]["value"] == 1.0
+        assert payload["sim.runs_by_scheme.m"]["value"] == 1.0
+
+    def test_bbb_baseline_traces(self, capsys, tmp_path):
+        out = tmp_path / "bbb.json"
+        assert (
+            main(
+                [
+                    "trace", "--scheme", "bbb", "--num-ops", "1000",
+                    "--out", str(out),
+                ]
+            )
+            == 0
+        )
+        assert "scheme bbb" in capsys.readouterr().out
+        assert out.exists()
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace", "--scheme", "nope"])
+
+
+class TestObservabilityFlags:
+    """ISSUE 6: --metrics/--trace on experiment and faultcampaign, and
+    the unified --verbose/--quiet pair on every subcommand."""
+
+    def test_experiment_metrics_and_trace(self, capsys, tmp_path):
+        import json
+
+        from repro.obs import load_trace_schema, validate
+
+        metrics = tmp_path / "exp.prom"
+        trace = tmp_path / "exp-trace.json"
+        assert (
+            main(
+                [
+                    "experiment", "table4", "--num-ops", "1500",
+                    "--metrics", str(metrics), "--trace", str(trace),
+                ]
+            )
+            == 0
+        )
+        captured = capsys.readouterr()
+        assert "cobcm" in captured.out
+        assert "metrics saved to" in captured.err
+        assert "trace saved to" in captured.err
+        text = metrics.read_text()
+        # 18 benchmarks x (1 bbb baseline + 6 schemes) = 126 jobs.
+        assert "runner_tasks_completed 126" in text
+        payload = json.loads(trace.read_text())
+        assert validate(payload, load_trace_schema()) == []
+        jobs = [e for e in payload["traceEvents"] if e["name"] == "runner.job"]
+        assert len(jobs) == 126
+
+    def test_metrics_rejected_for_instant_experiments(self, tmp_path):
+        with pytest.raises(SystemExit, match="trace-driven"):
+            main(
+                [
+                    "experiment", "table5",
+                    "--metrics", str(tmp_path / "m.prom"),
+                ]
+            )
+
+    def test_faultcampaign_metrics_json(self, capsys, tmp_path):
+        import json
+
+        metrics = tmp_path / "campaign.json"
+        assert (
+            main(
+                [
+                    "faultcampaign", "--schemes", "m", "--crash-points", "1",
+                    "--num-stores", "20", "--no-minimize",
+                    "--metrics", str(metrics),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        payload = json.loads(metrics.read_text())
+        assert payload["campaign.pass_rate"]["value"] == 1.0
+        assert (
+            payload["campaign.cases_total"]["value"]
+            == payload["campaign.cases_passed"]["value"]
+        )
+
+    def test_verbose_and_quiet_mutually_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["list", "-v", "-q"])
+
+    def test_every_subcommand_accepts_verbosity_flags(self):
+        parser = build_parser()
+        for argv in (
+            ["list", "-v"],
+            ["simulate", "gamess", "-q"],
+            ["experiment", "table4", "--verbose"],
+            ["faultcampaign", "--quiet"],
+            ["trace", "-v"],
+            ["multicore", "-q"],
+            ["lint", "-v"],
+        ):
+            args = parser.parse_args(argv)
+            assert hasattr(args, "verbose") and hasattr(args, "quiet")
+
+    def test_multicore_warmup_flag(self, capsys):
+        assert (
+            main(
+                [
+                    "multicore", "--scheme", "m", "--num-ops", "600",
+                    "--warmup", "0.25",
+                ]
+            )
+            == 0
+        )
+        assert "8 core(s)" in capsys.readouterr().out

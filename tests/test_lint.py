@@ -138,9 +138,9 @@ def test_spb102_out_of_scope_module_is_clean():
 def test_spb103_for_loop_over_set_literal():
     findings = lint_sim(
         """
-        def walk():
+        def walk(sink):
             for x in {"a", "b"}:
-                print(x)
+                sink(x)
         """
     )
     assert codes(findings) == ["SPB103"]
@@ -834,5 +834,163 @@ def test_spb502_suppression():
             with open(path, "w") as handle:  # secpb-lint: disable=SPB502
                 handle.write(text)
         """
+    )
+    assert findings == []
+
+
+# --- SPB304: warmup param without subtract --------------------------------
+
+
+def test_spb304_warmup_param_without_subtract():
+    findings = lint_sim(
+        """
+        def run(traces, warmup_frac=0.0):
+            stats = collect(traces)
+            return stats.as_dict()
+        """
+    )
+    assert codes(findings) == ["SPB304"]
+
+
+def test_spb304_clean_with_subtract():
+    findings = lint_sim(
+        """
+        def run(traces, warmup_frac=0.0):
+            stats = collect(traces)
+            boundary = stats.snapshot()
+            stats.subtract(boundary)
+            return stats.as_dict()
+        """
+    )
+    assert findings == []
+
+
+def test_spb304_pass_through_param_is_clean():
+    # Forwarding warmup_frac without touching the collector is fine.
+    findings = lint_sim(
+        """
+        def run_scheme(trace, scheme, warmup_frac=0.0):
+            return simulator.run(trace, warmup_frac)
+        """
+    )
+    assert findings == []
+
+
+def test_spb304_out_of_scope_module_is_clean():
+    findings = lint_source(
+        textwrap.dedent(
+            """
+            def run(traces, warmup_frac=0.0):
+                stats = collect(traces)
+                return stats.as_dict()
+            """
+        ),
+        "fixture.py",
+        module="repro.cli",
+    )
+    assert findings == []
+
+
+# --- SPB601: print() in library scope -------------------------------------
+
+
+def test_spb601_print_in_library_module():
+    findings = lint_source(
+        textwrap.dedent(
+            """
+            def report(result):
+                print(result)
+            """
+        ),
+        "fixture.py",
+        module="repro.analysis.fixture",
+    )
+    assert codes(findings) == ["SPB601"]
+
+
+def test_spb601_cli_modules_may_print():
+    for module in ("repro.cli", "repro.lint.cli", "repro.__main__"):
+        findings = lint_source(
+            textwrap.dedent(
+                """
+                def report(result):
+                    print(result)
+                """
+            ),
+            "fixture.py",
+            module=module,
+        )
+        assert findings == [], module
+
+
+def test_spb601_non_repro_module_is_clean():
+    findings = lint_source(
+        "def f():\n    print('hi')\n", "fixture.py", module="scripts.tool"
+    )
+    assert findings == []
+
+
+# --- SPB602: ad-hoc logging configuration ---------------------------------
+
+
+def test_spb602_basicconfig_outside_obs():
+    findings = lint_source(
+        textwrap.dedent(
+            """
+            import logging
+
+            def boot():
+                logging.basicConfig(level=logging.INFO)
+            """
+        ),
+        "fixture.py",
+        module="repro.cli",
+    )
+    assert codes(findings) == ["SPB602"]
+
+
+def test_spb602_dictconfig_flagged():
+    findings = lint_source(
+        textwrap.dedent(
+            """
+            import logging.config
+
+            def boot(cfg):
+                logging.config.dictConfig(cfg)
+            """
+        ),
+        "fixture.py",
+        module="repro.fault.fixture",
+    )
+    assert codes(findings) == ["SPB602"]
+
+
+def test_spb602_obs_bootstrap_exempt():
+    findings = lint_source(
+        textwrap.dedent(
+            """
+            import logging
+
+            def configure():
+                logging.basicConfig(level=logging.WARNING)
+            """
+        ),
+        "fixture.py",
+        module="repro.obs.bootstrap",
+    )
+    assert findings == []
+
+
+def test_spb602_getlogger_is_clean():
+    findings = lint_source(
+        textwrap.dedent(
+            """
+            import logging
+
+            logger = logging.getLogger(__name__)
+            """
+        ),
+        "fixture.py",
+        module="repro.workloads.store",
     )
     assert findings == []

@@ -99,3 +99,62 @@ class TestSharedEngineContention:
         cm_scaling = cm_4.cycles / cm_1.cycles
         cobcm_scaling = cobcm_4.cycles / max(cobcm_1.cycles, 1.0)
         assert cobcm_scaling < cm_scaling
+
+
+class TestWarmup:
+    """The measured-region protocol (PR 1) applied to the lockstep run.
+
+    Per-core cycles, instructions and every shared counter must cover
+    only the post-warmup region — the multi-core mirror of the
+    single-core snapshot/subtract discipline.
+    """
+
+    def test_warmup_frac_validated(self):
+        sim = MultiCoreSecPBSimulator(2, get_scheme("cm"))
+        for bad in (-0.1, 1.0, 1.5):
+            with pytest.raises(ValueError, match="warmup_frac"):
+                sim.run(traces(2), warmup_frac=bad)
+
+    def test_zero_warmup_matches_default(self):
+        full = MultiCoreSecPBSimulator(2, get_scheme("cm")).run(traces(2))
+        explicit = MultiCoreSecPBSimulator(2, get_scheme("cm")).run(
+            traces(2), warmup_frac=0.0
+        )
+        assert explicit == full
+
+    def test_warmup_excludes_leading_region(self):
+        full = MultiCoreSecPBSimulator(2, get_scheme("cm")).run(traces(2))
+        warm = MultiCoreSecPBSimulator(2, get_scheme("cm")).run(
+            traces(2), warmup_frac=0.3
+        )
+        assert warm.cycles < full.cycles
+        assert warm.instructions < full.instructions
+        assert all(
+            w < f
+            for w, f in zip(warm.per_core_cycles, full.per_core_cycles)
+        )
+
+    def test_stats_cover_measured_region_only(self):
+        full = MultiCoreSecPBSimulator(2, get_scheme("cm")).run(traces(2))
+        warm = MultiCoreSecPBSimulator(2, get_scheme("cm")).run(
+            traces(2), warmup_frac=0.5
+        )
+        assert warm.stats["instructions"] == warm.instructions
+        for key in ("secpb.writes", "bmt.root_updates"):
+            if key in full.stats:
+                assert warm.stats.get(key, 0.0) <= full.stats[key]
+
+    def test_warmup_deterministic(self):
+        a = MultiCoreSecPBSimulator(2, get_scheme("cm")).run(
+            traces(2), warmup_frac=0.25
+        )
+        b = MultiCoreSecPBSimulator(2, get_scheme("cm")).run(
+            traces(2), warmup_frac=0.25
+        )
+        assert a == b
+
+    def test_bbb_warmup_runs(self):
+        result = MultiCoreSecPBSimulator(2, None).run(
+            traces(2), warmup_frac=0.2
+        )
+        assert result.cycles > 0

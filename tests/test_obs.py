@@ -1,0 +1,289 @@
+"""Unit tests for repro.obs — metrics, tracing, schema, logging bootstrap."""
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.obs import (
+    LANE_CRASH,
+    LANE_DRAIN,
+    LANE_STORES,
+    MetricsRegistry,
+    SchemaError,
+    Tracer,
+    configure_logging,
+    load_trace_schema,
+    record_simulation,
+    sanitize_metric_name,
+    validate,
+    validate_or_raise,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("runner.tasks_completed")
+        assert counter.value == 0.0
+        counter.inc()
+        counter.inc(3)
+        assert counter.value == 4.0
+
+    def test_negative_increment_rejected(self):
+        counter = MetricsRegistry().counter("c")
+        with pytest.raises(ValueError, match="negative"):
+            counter.inc(-1)
+
+
+class TestGauge:
+    def test_set_moves_both_directions(self):
+        gauge = MetricsRegistry().gauge("campaign.pass_rate")
+        gauge.set(0.75)
+        assert gauge.value == 0.75
+        gauge.set(0.25)
+        assert gauge.value == 0.25
+
+
+class TestHistogram:
+    def test_cumulative_bucket_semantics(self):
+        hist = MetricsRegistry().histogram("h", buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 5.0, 50.0):
+            hist.observe(value)
+        # le-semantics: each bucket counts every observation <= its bound.
+        assert hist.counts == [1, 2, 3]
+        assert hist.count == 4
+        assert hist.sum == pytest.approx(55.55)
+
+    def test_empty_buckets_rejected(self):
+        with pytest.raises(ValueError, match="at least one bucket"):
+            MetricsRegistry().histogram("h", buckets=())
+
+    def test_duplicate_bounds_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            MetricsRegistry().histogram("h", buckets=(1.0, 1.0))
+
+
+class TestRegistry:
+    def test_registration_is_idempotent(self):
+        registry = MetricsRegistry()
+        first = registry.counter("x", "help text")
+        second = registry.counter("x")
+        assert first is second
+        assert len(registry) == 1
+
+    def test_kind_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError, match="already registered as counter"):
+            registry.gauge("x")
+
+    def test_snapshot_excludes_nondeterministic_by_default(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        registry.histogram("wall", deterministic=False).observe(0.5)
+        assert set(registry.snapshot()) == {"a"}
+        assert set(registry.snapshot(include_nondeterministic=True)) == {
+            "a",
+            "wall",
+        }
+
+    def test_to_json_round_trips_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("b.second").inc(2)
+        registry.counter("a.first").inc(1)
+        payload = json.loads(registry.to_json())
+        assert list(payload) == ["a.first", "b.second"]
+        assert payload["a.first"]["kind"] == "counter"
+        assert payload["a.first"]["value"] == 1.0
+
+    def test_prometheus_text_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("runner.tasks_completed", "Tasks done").inc(7)
+        registry.gauge("campaign.pass_rate").set(0.5)
+        registry.histogram("runner.task_seconds", buckets=(1.0,)).observe(0.5)
+        text = registry.to_prometheus_text()
+        assert "# HELP runner_tasks_completed Tasks done" in text
+        assert "# TYPE runner_tasks_completed counter" in text
+        assert "runner_tasks_completed 7" in text
+        assert "campaign_pass_rate 0.5" in text
+        assert 'runner_task_seconds_bucket{le="1"} 1' in text
+        assert 'runner_task_seconds_bucket{le="+Inf"} 1' in text
+        assert "runner_task_seconds_sum 0.5" in text
+        assert "runner_task_seconds_count 1" in text
+        assert text.endswith("\n")
+
+    def test_sanitize_metric_name(self):
+        assert sanitize_metric_name("runner.task-seconds") == "runner_task_seconds"
+        assert sanitize_metric_name("9lives") == "_9lives"
+
+
+class TestRecordSimulation:
+    def _result(self):
+        from repro.core.schemes import get_scheme
+        from repro.core.simulator import run_scheme
+        from repro.workloads.spec import build_trace
+
+        trace = build_trace("gamess", 1500, 1)
+        return run_scheme(trace, get_scheme("m"))
+
+    def test_counts_cycles_and_scheme(self):
+        registry = MetricsRegistry()
+        result = self._result()
+        record_simulation(registry, result)
+        assert registry.get("sim.runs").value == 1.0
+        assert registry.get("sim.cycles").value == result.cycles
+        assert registry.get("sim.runs_by_scheme.m").value == 1.0
+
+    def test_ratio_stats_become_gauges(self):
+        registry = MetricsRegistry()
+        record_simulation(registry, self._result())
+        assert registry.get("sim.stats.ppti").kind == "gauge"
+        assert registry.get("sim.stats.nwpe").kind == "gauge"
+
+
+class TestTracer:
+    def test_bound_complete_event(self):
+        tracer = Tracer()
+        emit = tracer.bind_complete("secpb.accept", "secpb", LANE_STORES)
+        emit(100.0, 5.0, {"addr": 7})
+        (event,) = tracer.events
+        assert event == {
+            "ph": "X",
+            "name": "secpb.accept",
+            "cat": "secpb",
+            "ts": 100.0,
+            "dur": 5.0,
+            "pid": 1,
+            "tid": LANE_STORES,
+            "args": {"addr": 7},
+        }
+
+    def test_instant_and_counter_events(self):
+        tracer = Tracer()
+        tracer.bind_instant("crash.begin", "crash", LANE_CRASH)(3.0)
+        tracer.bind_counter("secpb.occupancy", LANE_DRAIN)(4.0, {"effective": 2})
+        instant, counter = tracer.events
+        assert instant["ph"] == "i" and instant["s"] == "t"
+        assert counter["ph"] == "C" and counter["args"] == {"effective": 2}
+
+    def test_chrome_export_has_metadata_lanes(self):
+        tracer = Tracer(process_name="unit-test", clock_unit="cycles")
+        tracer.complete("e", "c", LANE_STORES, 0.0, 1.0)
+        payload = tracer.to_chrome()
+        names = [e["name"] for e in payload["traceEvents"] if e["ph"] == "M"]
+        assert "process_name" in names
+        assert names.count("thread_name") >= 4
+        assert payload["metadata"]["clock_unit"] == "cycles"
+
+    def test_jsonl_is_one_object_per_line(self):
+        tracer = Tracer()
+        tracer.complete("a", "c", 1, 0.0, 1.0)
+        tracer.instant("b", "c", 2, 2.0)
+        lines = tracer.to_jsonl().splitlines()
+        assert len(lines) == 2
+        assert [json.loads(line)["name"] for line in lines] == ["a", "b"]
+
+    def test_save_chrome_writes_manifest(self, tmp_path):
+        tracer = Tracer()
+        tracer.complete("a", "c", 1, 0.0, 1.0)
+        out = tmp_path / "trace.json"
+        tracer.save_chrome(out)
+        assert json.loads(out.read_text())["traceEvents"]
+        assert (tmp_path / "trace.json.sha256").exists()
+
+
+class TestTraceSchema:
+    def test_valid_trace_passes(self):
+        tracer = Tracer()
+        tracer.complete("a", "c", 1, 0.0, 1.0, {"addr": 1})
+        assert validate(tracer.to_chrome(), load_trace_schema()) == []
+
+    def test_missing_required_key_fails(self):
+        schema = load_trace_schema()
+        errors = validate({"traceEvents": [{"ph": "X", "name": "a"}]}, schema)
+        assert any("pid" in e for e in errors)
+
+    def test_bad_phase_fails(self):
+        schema = load_trace_schema()
+        bad = {
+            "traceEvents": [
+                {"ph": "Z", "name": "a", "pid": 1, "tid": 1}
+            ]
+        }
+        assert any("enum" in e for e in validate(bad, schema))
+
+    def test_unknown_event_key_fails(self):
+        schema = load_trace_schema()
+        bad = {
+            "traceEvents": [
+                {"ph": "X", "name": "a", "pid": 1, "tid": 1, "bogus": 1}
+            ]
+        }
+        assert any("bogus" in e for e in validate(bad, schema))
+
+    def test_validate_or_raise_collects_errors(self):
+        with pytest.raises(SchemaError) as excinfo:
+            validate_or_raise({}, load_trace_schema())
+        assert excinfo.value.errors
+
+    def test_integer_excludes_bool(self):
+        assert validate(True, {"type": "integer"})
+        assert validate(3.0, {"type": "integer"}) == []
+
+
+class TestConfigureLogging:
+    def _drop_tagged_handler(self):
+        root = logging.getLogger()
+        for handler in list(root.handlers):
+            if getattr(handler, "_secpb_obs_handler", False):
+                root.removeHandler(handler)
+
+    def test_idempotent_no_duplicate_handlers(self):
+        try:
+            configure_logging()
+            configure_logging(verbose=True)
+            root = logging.getLogger()
+            tagged = [
+                h
+                for h in root.handlers
+                if getattr(h, "_secpb_obs_handler", False)
+            ]
+            assert len(tagged) == 1
+        finally:
+            self._drop_tagged_handler()
+
+    def test_levels(self):
+        try:
+            assert configure_logging() == logging.WARNING
+            assert configure_logging(verbose=True) == logging.INFO
+            assert configure_logging(quiet=True) == logging.ERROR
+        finally:
+            self._drop_tagged_handler()
+
+    def test_verbose_and_quiet_rejected(self):
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            configure_logging(verbose=True, quiet=True)
+
+    def test_warning_visible_by_default_info_hidden(self):
+        stream = io.StringIO()
+        try:
+            configure_logging(stream=stream)
+            logger = logging.getLogger("repro.workloads.store")
+            logger.warning("quarantine warning")
+            logger.info("progress chat")
+            text = stream.getvalue()
+            assert "quarantine warning" in text
+            assert "progress chat" not in text
+        finally:
+            self._drop_tagged_handler()
+
+    def test_quiet_suppresses_warnings(self):
+        stream = io.StringIO()
+        try:
+            configure_logging(quiet=True, stream=stream)
+            logging.getLogger("repro.test").warning("should vanish")
+            assert stream.getvalue() == ""
+        finally:
+            self._drop_tagged_handler()

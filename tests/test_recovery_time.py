@@ -2,7 +2,9 @@
 
 import pytest
 
+from repro.core.crash import AppCrashPolicy, SecurePersistentSystem
 from repro.core.recovery_time import (
+    crash_recovery_time,
     estimate_recovery_time,
     per_entry_drain_cycles,
     recovery_time_table,
@@ -61,3 +63,89 @@ class TestEstimates:
         table = recovery_time_table()
         assert set(table) == set(SPECTRUM_ORDER)
         assert table["cobcm"].total_cycles > table["nogap"].total_cycles
+
+
+class TestCrashRecoveryTime:
+    """Actual-crash recovery time: zero-entry and brownout edge cases.
+
+    The estimate path (full SecPB, worst case) is well-conditioned; the
+    actual-crash path must stay well-defined when the crash drains
+    nothing (empty SecPB) or a brownout loses part of the buffer —
+    neither may divide by zero, and lost blocks are never billed as
+    drained.
+    """
+
+    @pytest.mark.parametrize("scheme_name", SPECTRUM_ORDER)
+    def test_zero_entry_crash_reports_zero_time(self, scheme_name):
+        scheme = get_scheme(scheme_name)
+        report = SecurePersistentSystem(scheme).crash()
+        estimate = crash_recovery_time(report, scheme)
+        assert report.entries_drained == 0
+        assert estimate.entries == 0
+        assert estimate.total_cycles == 0.0
+        assert estimate.total_us == 0.0
+        # Per-entry stays the scheme's worst case even with no entries.
+        assert estimate.per_entry_cycles == per_entry_drain_cycles(scheme)
+
+    @pytest.mark.parametrize("scheme_name", SPECTRUM_ORDER)
+    @pytest.mark.parametrize(
+        "policy", [AppCrashPolicy.DRAIN_ALL, AppCrashPolicy.DRAIN_PROCESS]
+    )
+    def test_app_crash_both_drain_policies(self, scheme_name, policy):
+        scheme = get_scheme(scheme_name)
+        system = SecurePersistentSystem(scheme)
+        for i in range(12):
+            system.store(i, bytes([i]) * 64, asid=i % 2)
+        report = system.app_crash(0, policy=policy)
+        estimate = crash_recovery_time(report, scheme)
+        assert estimate.entries == report.entries_drained
+        assert estimate.total_cycles == pytest.approx(
+            report.entries_drained * estimate.per_entry_cycles
+        )
+
+    @pytest.mark.parametrize("scheme_name", SPECTRUM_ORDER)
+    def test_brownout_excludes_lost_blocks(self, scheme_name):
+        scheme = get_scheme(scheme_name)
+        system = SecurePersistentSystem(scheme)
+        for i in range(10):
+            system.store(i, bytes([i]) * 64)
+        report = system.crash(energy_budget_nj=50.0)
+        assert report.unpersisted_blocks  # the brownout actually lost data
+        estimate = crash_recovery_time(report, scheme)
+        assert estimate.entries == report.entries_drained
+        assert estimate.entries + len(report.unpersisted_blocks) == 10
+        assert estimate.total_cycles == (
+            report.entries_drained * estimate.per_entry_cycles
+        )
+
+    def test_partial_brownout_time_below_full_drain(self):
+        scheme = get_scheme("cobcm")
+        system = SecurePersistentSystem(scheme)
+        for i in range(10):
+            system.store(i, bytes([i]) * 64)
+        partial = crash_recovery_time(
+            system.crash(energy_budget_nj=50.0), scheme
+        )
+        full_system = SecurePersistentSystem(scheme)
+        for i in range(10):
+            full_system.store(i, bytes([i]) * 64)
+        full = crash_recovery_time(full_system.crash(), scheme)
+        assert partial.total_cycles < full.total_cycles
+        assert full.entries == 10
+
+    def test_microseconds_follow_clock(self):
+        scheme = get_scheme("m")
+        system = SecurePersistentSystem(scheme)
+        for i in range(6):
+            system.store(i, bytes([i]) * 64)
+        estimate = crash_recovery_time(system.crash(), scheme)
+        assert estimate.total_us == pytest.approx(
+            estimate.total_cycles / 4000.0
+        )
+
+    def test_negative_entries_rejected(self):
+        class Bogus:
+            entries_drained = -1
+
+        with pytest.raises(ValueError, match="non-negative"):
+            crash_recovery_time(Bogus(), get_scheme("m"))
