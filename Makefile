@@ -10,9 +10,11 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 test:
 	$(PYTHON) -m pytest tests -x -q
 
-# Static analysis gate: secpb-lint always runs (stdlib-only); ruff and
-# mypy run when installed and are skipped gracefully when not, so the
-# target works in the hermetic container and in a dev venv alike.
+# Static analysis gate: secpb-lint always runs (stdlib-only), including
+# the whole-program semantic pass (SPB7xx-9xx: call-graph taint,
+# artifact-IO reachability, exception flow); ruff and mypy run when
+# installed and are skipped gracefully when not, so the target works in
+# the hermetic container and in a dev venv alike.
 lint:
 	$(PYTHON) -m repro.lint src
 	@if $(PYTHON) -c "import ruff" >/dev/null 2>&1; then \

@@ -1,0 +1,61 @@
+"""Lint-performance budget: the semantic pass must stay fast enough
+to run on every commit.
+
+The whole-program analysis (project model -> call graph -> dataflow
+fixed point -> SPB7xx/8xx/9xx rules) re-parses the entire ``src`` tree
+with no cache.  If it cannot finish well inside the budget, the
+pre-commit hook and the ``make lint`` gate stop being something people
+run reflexively — which is how static analysis dies in practice.
+
+The budget is deliberately generous (an order of magnitude above the
+typical cold run) and overridable via ``SECPB_LINT_PERF_BUDGET``
+seconds, so slow shared CI runners cannot flake the gate; it exists to
+catch *pathological* regressions (an accidental quadratic fixed point,
+a rule re-running the dataflow per finding), not to bench the runner.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.lint.cli import main as lint_main
+
+pytestmark = pytest.mark.quick
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+
+BUDGET_SECONDS = float(os.environ.get("SECPB_LINT_PERF_BUDGET", "30"))
+
+
+def test_full_semantic_lint_within_budget(tmp_path):
+    # A throwaway cache file keeps the run cold and leaves the
+    # developer's real cache untouched.
+    start = time.monotonic()
+    exit_code = lint_main(
+        [str(SRC), "--cache-file", str(tmp_path / "cache.json")]
+    )
+    elapsed = time.monotonic() - start
+    assert exit_code == 0, "src tree must lint clean (see make lint)"
+    assert elapsed < BUDGET_SECONDS, (
+        f"cold full-tree lint took {elapsed:.1f}s, budget is "
+        f"{BUDGET_SECONDS:.0f}s (override: SECPB_LINT_PERF_BUDGET)"
+    )
+
+
+def test_cached_semantic_lint_is_faster_than_budget(tmp_path):
+    # Second run over an unchanged tree must be served from the cache;
+    # we assert it beats a much tighter bound than the cold budget.
+    cache_file = str(tmp_path / "cache.json")
+    assert lint_main([str(SRC), "--cache-file", cache_file]) == 0
+    start = time.monotonic()
+    assert lint_main([str(SRC), "--cache-file", cache_file]) == 0
+    elapsed = time.monotonic() - start
+    assert elapsed < BUDGET_SECONDS / 2, (
+        f"cached lint took {elapsed:.1f}s — the incremental cache is "
+        "not being hit"
+    )

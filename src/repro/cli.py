@@ -335,6 +335,18 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         forwarded += ["--ignore", code]
     if args.list_rules:
         forwarded.append("--list-rules")
+    if args.no_semantic:
+        forwarded.append("--no-semantic")
+    if args.no_cache:
+        forwarded.append("--no-cache")
+    if args.cache_file is not None:
+        forwarded += ["--cache-file", args.cache_file]
+    if args.changed:
+        forwarded.append("--changed")
+    if args.baseline is not None:
+        forwarded += ["--baseline", args.baseline]
+    if args.update_baseline:
+        forwarded.append("--update-baseline")
     return lint_main(forwarded)
 
 
@@ -643,6 +655,12 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--select", action="append", metavar="CODE")
     lint.add_argument("--ignore", action="append", metavar="CODE")
     lint.add_argument("--list-rules", action="store_true")
+    lint.add_argument("--no-semantic", action="store_true")
+    lint.add_argument("--no-cache", action="store_true")
+    lint.add_argument("--cache-file", metavar="FILE", default=None)
+    lint.add_argument("--changed", action="store_true")
+    lint.add_argument("--baseline", metavar="FILE", default=None)
+    lint.add_argument("--update-baseline", action="store_true")
     lint.set_defaults(func=_cmd_lint)
 
     faultcampaign = sub.add_parser(

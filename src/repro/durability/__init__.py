@@ -29,6 +29,7 @@ from .artifacts import (
     ArtifactStatus,
     atomic_write_bytes,
     atomic_write_text,
+    content_digest,
     manifest_path,
     quarantine_artifact,
     read_verified,
@@ -69,6 +70,7 @@ __all__ = [
     "StopToken",
     "atomic_write_bytes",
     "atomic_write_text",
+    "content_digest",
     "decode_key",
     "encode_key",
     "fingerprint",

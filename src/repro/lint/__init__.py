@@ -30,10 +30,28 @@ and the paper artifacts' reproducibility — actually rest on:
   flow through one logging bootstrap, hot-path instrumentation through
   the bound no-op tracing hooks.
 
+On top of the per-file families, the **whole-program semantic pass**
+(:mod:`repro.lint.semantic`) parses the entire tree once, builds a call
+graph and dataflow summaries, and checks the invariants a single-file
+view cannot see:
+
+* **interprocedural determinism taint** (SPB701-704): wall-clock, RNG,
+  environment, and set-order values laundered through helpers in *other*
+  modules into simulation state;
+* **artifact-IO reachability** (SPB801-802): raw filesystem writes
+  reachable from analysis/fault code — or leaking out of
+  ``repro.durability`` — without passing the sanctioned atomic writers;
+* **cross-module exception flow** (SPB901): crash/recovery/fault
+  exceptions swallowed by callers in other modules without logging or
+  re-raising.
+
 Use :func:`lint_paths` / :func:`lint_source` programmatically, or the
 ``repro lint`` CLI (``python -m repro.lint``).  Rules support per-line
 ``# secpb-lint: disable=CODE`` and file-wide
-``# secpb-lint: disable-file=CODE`` suppressions.
+``# secpb-lint: disable-file=CODE`` suppressions.  The CLI adds an
+incremental content-hash cache (``--no-cache``), a git-aware
+``--changed`` mode, and fingerprinted baselines (``--baseline`` /
+``--update-baseline``).
 """
 
 from __future__ import annotations
@@ -51,30 +69,40 @@ from . import (  # noqa: F401
 from .base import (
     DETERMINISM_SCOPES,
     LintContext,
+    ProjectRule,
     Rule,
+    all_project_rules,
     all_rules,
     lint_file,
     lint_paths,
     lint_source,
     module_name_for_path,
+    select_project_rules,
     select_rules,
 )
 from .cli import main
 from .findings import Finding, Severity, findings_to_json, sort_findings
+from .semantic import SemanticAnalysis, analyze_paths, run_project_rules
 
 __all__ = [
     "DETERMINISM_SCOPES",
     "Finding",
     "LintContext",
+    "ProjectRule",
     "Rule",
+    "SemanticAnalysis",
     "Severity",
+    "all_project_rules",
     "all_rules",
+    "analyze_paths",
     "findings_to_json",
     "lint_file",
     "lint_paths",
     "lint_source",
     "main",
     "module_name_for_path",
+    "run_project_rules",
+    "select_project_rules",
     "select_rules",
     "sort_findings",
 ]

@@ -145,8 +145,29 @@ class Rule:
         return True
 
 
+class ProjectRule:
+    """Base class for one whole-program (semantic) lint rule.
+
+    Unlike :class:`Rule`, a project rule sees the entire parsed tree at
+    once — the project model, call graph, and dataflow summaries built
+    by :mod:`repro.lint.semantic` — so it can check invariants that span
+    calls and modules.  ``check_project`` receives the analysis bundle
+    (typed loosely here to keep ``base`` free of semantic imports).
+    """
+
+    code: str = "SPB700"
+    severity: Severity = Severity.ERROR
+    summary: str = ""
+
+    def check_project(self, analysis: object) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
 RULES: List[Type[Rule]] = []
 """All registered rule classes, in registration (i.e. code) order."""
+
+PROJECT_RULES: List[Type[ProjectRule]] = []
+"""All registered whole-program rule classes."""
 
 
 def register_rule(cls: Type[Rule]) -> Type[Rule]:
@@ -157,9 +178,39 @@ def register_rule(cls: Type[Rule]) -> Type[Rule]:
     return cls
 
 
+def register_project_rule(cls: Type[ProjectRule]) -> Type[ProjectRule]:
+    """Class decorator adding a whole-program rule to the registry."""
+    if any(existing.code == cls.code for existing in PROJECT_RULES):
+        raise ValueError(f"duplicate project rule code {cls.code}")
+    PROJECT_RULES.append(cls)
+    return cls
+
+
 def all_rules() -> List[Rule]:
     """Fresh instances of every registered rule, sorted by code."""
     return [cls() for cls in sorted(RULES, key=lambda c: c.code)]
+
+
+def all_project_rules() -> List[ProjectRule]:
+    """Fresh instances of every whole-program rule, sorted by code."""
+    return [cls() for cls in sorted(PROJECT_RULES, key=lambda c: c.code)]
+
+
+def select_project_rules(
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> List[ProjectRule]:
+    """Whole-program rule instances filtered by selections/ignores."""
+    selected = set(select) if select else None
+    ignored = set(ignore) if ignore else set()
+    rules = []
+    for rule in all_project_rules():
+        if selected is not None and rule.code not in selected:
+            continue
+        if rule.code in ignored:
+            continue
+        rules.append(rule)
+    return rules
 
 
 def select_rules(

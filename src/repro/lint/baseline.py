@@ -1,0 +1,157 @@
+"""Finding baselines: adopt secpb-lint on a tree with known findings.
+
+A baseline is a snapshot of accepted findings.  ``repro lint
+--update-baseline`` writes it; ``repro lint --baseline FILE`` then
+subtracts baselined findings from the report, so the gate only fails on
+*new* problems — the adoption path for turning a rule family on over an
+imperfect tree without a flag day.
+
+Entries are *fingerprinted*, not line-numbered: each records the rule
+code, the file path, and the SHA-256 of the offending source line's
+stripped text.  Unrelated edits that shift line numbers keep matching;
+editing the offending line itself breaks the fingerprint, so the
+finding resurfaces — a baseline can never hide a regression in code
+that was actually touched.
+
+Stale entries are an error (exit 2), not a shrug: when a baselined
+finding disappears (fixed, or its line edited), the baseline must be
+regenerated.  That keeps the file an honest inventory of remaining
+debt instead of a grave of forgotten suppressions.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Sequence, Tuple
+
+from ..durability.artifacts import atomic_write_text, content_digest
+from .findings import Finding
+
+BASELINE_VERSION = 1
+"""Bumped whenever the baseline file layout changes incompatibly."""
+
+
+class BaselineError(Exception):
+    """The baseline file is unreadable or structurally invalid."""
+
+
+def _line_text(source_lines: Dict[str, List[str]], finding: Finding) -> str:
+    """The stripped text of the finding's source line ("" when gone)."""
+    if finding.path not in source_lines:
+        try:
+            text = Path(finding.path).read_text(encoding="utf-8")
+            source_lines[finding.path] = text.splitlines()
+        except OSError:
+            source_lines[finding.path] = []
+    lines = source_lines[finding.path]
+    if 1 <= finding.line <= len(lines):
+        return lines[finding.line - 1].strip()
+    return ""
+
+
+def finding_fingerprint(finding: Finding, line_text: str) -> str:
+    """Stable identity of a finding: code, file, and line *content*."""
+    key = f"{finding.code}\0{finding.path}\0{line_text}"
+    return content_digest(key.encode("utf-8"))
+
+
+class Baseline:
+    """A fingerprint multiset of accepted findings."""
+
+    def __init__(self, entries: Sequence[Dict[str, Any]]) -> None:
+        self.entries = list(entries)
+
+    # ------------------------------------------------------------------
+    # construction / persistence
+
+    @classmethod
+    def from_findings(cls, findings: Sequence[Finding]) -> "Baseline":
+        source_lines: Dict[str, List[str]] = {}
+        entries = []
+        for finding in findings:
+            line_text = _line_text(source_lines, finding)
+            entries.append(
+                {
+                    "fingerprint": finding_fingerprint(finding, line_text),
+                    "code": finding.code,
+                    "path": finding.path,
+                    # line and message are context for humans reading the
+                    # file; matching uses only the fingerprint.
+                    "line": finding.line,
+                    "message": finding.message,
+                }
+            )
+        return cls(entries)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except OSError as exc:
+            raise BaselineError(f"cannot read baseline {path}: {exc}")
+        except ValueError as exc:
+            raise BaselineError(f"baseline {path} is not valid JSON: {exc}")
+        if (
+            not isinstance(payload, dict)
+            or payload.get("version") != BASELINE_VERSION
+            or not isinstance(payload.get("entries"), list)
+        ):
+            raise BaselineError(
+                f"baseline {path} has an unsupported layout "
+                f"(expected version {BASELINE_VERSION})"
+            )
+        return cls(payload["entries"])
+
+    def save(self, path: Path) -> None:
+        payload = {
+            "version": BASELINE_VERSION,
+            "entries": sorted(
+                self.entries,
+                key=lambda e: (e["path"], e["line"], e["code"]),
+            ),
+        }
+        atomic_write_text(
+            path, json.dumps(payload, indent=1, sort_keys=True) + "\n"
+        )
+
+    # ------------------------------------------------------------------
+    # application
+
+    def apply(
+        self, findings: Sequence[Finding]
+    ) -> Tuple[List[Finding], List[Dict[str, Any]]]:
+        """Subtract baselined findings.
+
+        Returns ``(new_findings, stale_entries)``: findings with no
+        baseline match, and baseline entries no current finding consumed
+        (fixed or invalidated — the baseline needs regenerating).
+        """
+        budget: Dict[str, int] = {}
+        for entry in self.entries:
+            fingerprint = str(entry.get("fingerprint", ""))
+            budget[fingerprint] = budget.get(fingerprint, 0) + 1
+        source_lines: Dict[str, List[str]] = {}
+        new_findings: List[Finding] = []
+        for finding in findings:
+            line_text = _line_text(source_lines, finding)
+            fingerprint = finding_fingerprint(finding, line_text)
+            if budget.get(fingerprint, 0) > 0:
+                budget[fingerprint] -= 1
+            else:
+                new_findings.append(finding)
+        stale: List[Dict[str, Any]] = []
+        for entry in self.entries:
+            fingerprint = str(entry.get("fingerprint", ""))
+            if budget.get(fingerprint, 0) > 0:
+                budget[fingerprint] -= 1
+                stale.append(entry)
+        return new_findings, stale
+
+
+def describe_stale(entry: Dict[str, Any]) -> str:
+    """Human-readable one-liner for a stale baseline entry."""
+    return (
+        f"{entry.get('path', '?')}:{entry.get('line', '?')}: "
+        f"{entry.get('code', '?')} (baselined finding no longer present)"
+    )

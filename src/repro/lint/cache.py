@@ -1,0 +1,209 @@
+"""Incremental lint cache keyed by file content SHA-256.
+
+Per-file findings depend only on one file's bytes (plus the rule set),
+so a re-lint of an unchanged tree is pure overhead.  The cache stores,
+for every linted file, the content digest (reusing the same SHA-256
+helper the artifact manifests use — :func:`repro.durability.artifacts.
+content_digest`) plus the findings that run produced.  On the next run
+a file whose digest matches is served from the cache without parsing.
+
+The whole-project *semantic* pass is cached the same way under a single
+project key: the digest of every (path, digest) pair plus the project
+rule codes.  One changed byte anywhere invalidates the semantic entry —
+that is correct, because a one-line edit can change the call graph.
+
+Two safety valves keep stale results impossible:
+
+* the cache carries a *tool fingerprint* — a digest over the lint
+  package's own source files — so editing any rule invalidates
+  everything;
+* the rule selection (``--select`` / ``--ignore``) is folded into the
+  fingerprint, so runs with different rule sets never share entries.
+
+The cache file itself is written with the durable atomic-write
+discipline (:func:`~repro.durability.artifacts.atomic_write_text`), so
+an interrupted lint run can never leave a truncated cache that poisons
+the next one.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..durability.artifacts import atomic_write_text, content_digest
+from .findings import Finding, Severity
+
+CACHE_VERSION = 1
+"""Bumped whenever the on-disk cache layout changes incompatibly."""
+
+DEFAULT_CACHE_PATH = Path(".secpb-lint-cache.json")
+"""Default cache location, relative to the working directory."""
+
+
+def tool_fingerprint(extra: Sequence[str] = ()) -> str:
+    """Digest over the lint package's own sources plus ``extra`` keys.
+
+    Any edit to a rule, the framework, or the semantic layer changes
+    this fingerprint and therefore drops every cached entry — the cache
+    can never survive the tool that wrote it.
+    """
+    package_dir = Path(__file__).resolve().parent
+    parts: List[str] = [f"cache-version:{CACHE_VERSION}"]
+    for source in sorted(package_dir.rglob("*.py")):
+        parts.append(
+            f"{source.relative_to(package_dir)}:"
+            f"{content_digest(source.read_bytes())}"
+        )
+    parts.extend(sorted(extra))
+    return content_digest("\n".join(parts).encode("utf-8"))
+
+
+def _finding_to_dict(finding: Finding) -> Dict[str, Any]:
+    return finding.to_dict()
+
+
+def _finding_from_dict(data: Dict[str, Any]) -> Finding:
+    return Finding(
+        code=str(data["code"]),
+        severity=Severity(data["severity"]),
+        path=str(data["path"]),
+        line=int(data["line"]),
+        col=int(data["col"]),
+        message=str(data["message"]),
+    )
+
+
+class LintCache:
+    """Content-addressed findings cache for per-file and semantic runs."""
+
+    def __init__(self, path: Path, fingerprint: str) -> None:
+        self.path = path
+        self.fingerprint = fingerprint
+        #: file path -> {"digest": ..., "findings": [...]}
+        self._files: Dict[str, Dict[str, Any]] = {}
+        #: the one whole-project semantic entry
+        self._project: Optional[Dict[str, Any]] = None
+        self.hits = 0
+        self.misses = 0
+        self._dirty = False
+
+    # ------------------------------------------------------------------
+    # persistence
+
+    @classmethod
+    def load(cls, path: Path, fingerprint: str) -> "LintCache":
+        """Load a cache; a missing, corrupt, or stale file yields empty."""
+        cache = cls(path, fingerprint)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return cache
+        if not isinstance(payload, dict):
+            return cache
+        if payload.get("version") != CACHE_VERSION:
+            return cache
+        if payload.get("fingerprint") != fingerprint:
+            return cache  # tool or rule selection changed: start fresh
+        files = payload.get("files")
+        if isinstance(files, dict):
+            cache._files = files
+        project = payload.get("project")
+        if isinstance(project, dict):
+            cache._project = project
+        return cache
+
+    def save(self) -> None:
+        """Persist atomically; no-op when nothing changed this run."""
+        if not self._dirty:
+            return
+        payload = {
+            "version": CACHE_VERSION,
+            "fingerprint": self.fingerprint,
+            "files": self._files,
+            "project": self._project,
+        }
+        atomic_write_text(
+            self.path, json.dumps(payload, indent=1, sort_keys=True) + "\n"
+        )
+        self._dirty = False
+
+    # ------------------------------------------------------------------
+    # per-file entries
+
+    def get_file(
+        self, path: str, digest: str, module: str
+    ) -> Optional[List[Finding]]:
+        """Cached findings for ``path`` at ``digest``, or None on miss.
+
+        ``module`` is the dotted module name the file currently maps to;
+        it is part of the entry because rule scoping depends on package
+        ancestry — adding a parent ``__init__.py`` changes findings
+        without changing the file's own bytes.
+        """
+        entry = self._files.get(path)
+        if (
+            entry is None
+            or entry.get("digest") != digest
+            or entry.get("module") != module
+        ):
+            self.misses += 1
+            return None
+        try:
+            findings = [
+                _finding_from_dict(item) for item in entry["findings"]
+            ]
+        except (KeyError, TypeError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return findings
+
+    def put_file(
+        self,
+        path: str,
+        digest: str,
+        module: str,
+        findings: Sequence[Finding],
+    ) -> None:
+        self._files[path] = {
+            "digest": digest,
+            "module": module,
+            "findings": [_finding_to_dict(f) for f in findings],
+        }
+        self._dirty = True
+
+    # ------------------------------------------------------------------
+    # whole-project semantic entry
+
+    @staticmethod
+    def project_key(
+        file_digests: Sequence[Tuple[str, str]], rule_codes: Sequence[str]
+    ) -> str:
+        """Key covering every file's content plus the project rule set."""
+        parts = [f"{path}:{digest}" for path, digest in sorted(file_digests)]
+        parts.extend(sorted(rule_codes))
+        return content_digest("\n".join(parts).encode("utf-8"))
+
+    def get_project(self, key: str) -> Optional[List[Finding]]:
+        entry = self._project
+        if entry is None or entry.get("key") != key:
+            self.misses += 1
+            return None
+        try:
+            findings = [
+                _finding_from_dict(item) for item in entry["findings"]
+            ]
+        except (KeyError, TypeError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return findings
+
+    def put_project(self, key: str, findings: Sequence[Finding]) -> None:
+        self._project = {
+            "key": key,
+            "findings": [_finding_to_dict(f) for f in findings],
+        }
+        self._dirty = True

@@ -1,0 +1,83 @@
+"""``repro lint --changed``: lint what git touched, plus its dependents.
+
+The pre-commit hook wants a fast gate; CI wants the full tree.  This
+module gives the hook something sound in between: the ``.py`` files git
+reports as modified (worktree *and* index, so both staged and unstaged
+edits count), expanded through the *reverse import graph* of the lint
+target — if ``repro/core/secpb.py`` changed, every module that imports
+it (transitively) is re-linted too, because a signature or invariant
+change there can invalidate its callers.
+
+Expansion uses the same :class:`~.semantic.project.ProjectModel` the
+semantic rules run on, so the dependency notion is exactly the one the
+whole-program analysis sees.  Deleted files drop out naturally (they no
+longer exist on disk); files outside the lint target are ignored.
+"""
+
+from __future__ import annotations
+
+import subprocess
+from pathlib import Path
+from typing import List, Optional, Sequence, Set
+
+from .base import iter_python_files, module_name_for_path
+from .semantic.project import ProjectModel
+
+
+def git_changed_files(root: Optional[Path] = None) -> Optional[List[Path]]:
+    """``.py`` files modified vs HEAD (worktree + index), or None when
+    git is unavailable / not a repository."""
+    cwd = str(root) if root is not None else None
+    names: Set[str] = set()
+    for extra in ([], ["--cached"]):
+        try:
+            proc = subprocess.run(
+                ["git", "diff", "--name-only", "--diff-filter=ACMR"]
+                + extra
+                + ["HEAD", "--", "*.py"],
+                capture_output=True,
+                text=True,
+                cwd=cwd,
+                check=False,
+            )
+        except OSError:
+            return None
+        if proc.returncode != 0:
+            return None
+        names.update(line.strip() for line in proc.stdout.splitlines())
+    base = root if root is not None else Path(".")
+    return sorted(
+        path
+        for name in names
+        if name and (path := base / name).exists()
+    )
+
+
+def expand_changed(
+    targets: Sequence[Path],
+    changed: Sequence[Path],
+    project: Optional[ProjectModel] = None,
+) -> List[Path]:
+    """Changed files under ``targets`` plus their reverse-import closure.
+
+    Returns lintable file paths (sorted, de-duplicated).  Files under
+    ``targets`` but outside the project model (unparsable) are kept —
+    they must still be linted so SPB001 can report the syntax error.
+    """
+    target_files = {p.resolve() for p in iter_python_files(targets)}
+    in_target = [p for p in changed if p.resolve() in target_files]
+    if not in_target:
+        return []
+    if project is None:
+        project = ProjectModel.build(list(targets))
+    by_module = {
+        module.name: Path(module.path) for module in project.modules.values()
+    }
+    changed_modules = {module_name_for_path(p) for p in in_target}
+    dependents = project.dependents_of(changed_modules)
+    result = {p.resolve(): p for p in in_target}
+    for name in dependents:
+        path = by_module.get(name)
+        if path is not None and path.resolve() in target_files:
+            result.setdefault(path.resolve(), path)
+    return [result[key] for key in sorted(result, key=str)]

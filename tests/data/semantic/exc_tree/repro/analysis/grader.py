@@ -1,0 +1,26 @@
+"""Campaign graders that catch fault exceptions (planted fixtures)."""
+
+import logging
+
+from ..fault.inject import CrashVerdictError, verify_recovery
+
+logger = logging.getLogger(__name__)
+
+
+def grade(state):
+    # SPB901: the crash-verdict failure signal dies here.
+    try:
+        verify_recovery(state)
+    except CrashVerdictError:
+        return "pass"
+    return "pass"
+
+
+def grade_loud(state):
+    # Clean: the handler logs before degrading.
+    try:
+        verify_recovery(state)
+    except CrashVerdictError:
+        logger.exception("recovery verification failed")
+        return "fail"
+    return "pass"

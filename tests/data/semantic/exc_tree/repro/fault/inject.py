@@ -1,0 +1,11 @@
+"""Fault machinery that raises on divergence (planted fixtures)."""
+
+
+class CrashVerdictError(Exception):
+    pass
+
+
+def verify_recovery(state):
+    if not state:
+        raise CrashVerdictError("recovery left no state")
+    return state

@@ -1,0 +1,19 @@
+"""Report writers in analysis scope (planted fixtures)."""
+
+from ..durability.artifacts import leaky_write, write_artifact
+from ..misc.io import dump_json
+
+
+def save_report(payload, path):
+    # SPB802: json.dump laundered through repro.misc.io.
+    dump_json(payload, path)
+
+
+def save_leaky(payload, path):
+    # SPB802: reaches a raw write via a non-sanctioned durability helper.
+    leaky_write(path, str(payload))
+
+
+def save_clean(payload, path):
+    # Clean: routed through the sanctioned writer.
+    write_artifact(path, str(payload))

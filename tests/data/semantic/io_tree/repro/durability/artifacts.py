@@ -1,0 +1,20 @@
+"""Durability writers: one sanctioned, one leaky (planted fixtures)."""
+
+
+def _raw(path, data):
+    path.write_text(data)
+
+
+def write_artifact(path, data):
+    # Sanctioned surface: raw writes behind it are the design intent.
+    _raw(path, data)
+
+
+def leaky_write(path, data):
+    # SPB801: a raw write reachable from outside repro.durability
+    # without passing a sanctioned writer.
+    _raw2(path, data)
+
+
+def _raw2(path, data):
+    path.write_text(data)

@@ -1,0 +1,8 @@
+"""Write helpers outside the durability package (planted fixtures)."""
+
+import json
+
+
+def dump_json(payload, path):
+    with open(path, "w") as handle:
+        json.dump(payload, handle)

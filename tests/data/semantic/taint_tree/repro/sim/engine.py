@@ -1,0 +1,35 @@
+"""Simulation-scope consumers of laundered nondeterminism (fixtures)."""
+
+import time
+
+from ..util.clock import run_mode, timestamp
+from ..util.collections import dedupe
+
+
+def stamp_result(result):
+    # SPB701: wall-clock taint two project hops away
+    # (timestamp -> read_clock -> time.time()).
+    result["t"] = timestamp()
+    return result
+
+
+def direct_stamp(result):
+    # SPB102 only: a direct primitive call resolves to the stdlib, so
+    # the interprocedural rule must NOT double-report this line.
+    result["t"] = time.time()
+    return result
+
+
+def pick_mode():
+    # SPB703: environment read laundered through repro.util.clock.
+    return run_mode()
+
+
+def order_events(events):
+    # SPB704: a helper materializes set iteration order.
+    return dedupe(events)
+
+
+def sorted_events(events):
+    # Clean: sorted() sanitizes set order.
+    return sorted(set(events))

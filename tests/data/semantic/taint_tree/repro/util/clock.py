@@ -1,0 +1,18 @@
+"""Helpers that launder nondeterminism (planted lint-fixture bugs)."""
+
+import os
+import time
+
+
+def read_clock():
+    return time.time()
+
+
+def timestamp():
+    # Second hop: the wall-clock value passes through another helper
+    # before any simulation code sees it.
+    return read_clock()
+
+
+def run_mode():
+    return os.environ.get("SECPB_MODE", "strict")

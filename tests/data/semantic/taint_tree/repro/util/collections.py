@@ -1,0 +1,6 @@
+"""Order-sensitive helpers (planted lint-fixture bugs)."""
+
+
+def dedupe(items):
+    unique = set(items)
+    return list(unique)

@@ -2,7 +2,9 @@
 
 This is the CI contract from the linting PR: `repro lint src/` exits 0,
 so every invariant family (determinism, scheme table, stats hygiene,
-pool safety) is machine-checked on every change.
+pool safety) is machine-checked on every change — including the
+whole-program semantic pass (SPB7xx taint, SPB8xx IO reachability,
+SPB9xx exception flow) added with the semantic-analysis PR.
 """
 
 from __future__ import annotations
@@ -10,7 +12,7 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
-from repro.lint import lint_paths
+from repro.lint import analyze_paths, lint_paths, run_project_rules
 from repro.lint.cli import main as lint_main
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -20,6 +22,32 @@ SRC = REPO_ROOT / "src"
 def test_source_tree_is_lint_clean():
     findings = lint_paths([SRC])
     assert findings == [], "\n".join(f.render() for f in findings)
+
+
+def test_source_tree_is_semantically_clean():
+    """Zero SPB7xx/8xx/9xx findings on the shipped tree — the gate the
+    interprocedural rules are held to, exactly like the per-file ones."""
+    analysis = analyze_paths([SRC])
+    findings = run_project_rules(analysis)
+    assert findings == [], "\n".join(f.render() for f in findings)
+    assert not analysis.project.parse_errors
+
+
+def test_semantic_analysis_covers_the_whole_tree():
+    """The project model really is whole-program: every core package is
+    in the module map and the call graph is non-trivial."""
+    analysis = analyze_paths([SRC])
+    modules = analysis.project.modules
+    for package in (
+        "repro.sim",
+        "repro.core.simulator",
+        "repro.security.engine",
+        "repro.durability.artifacts",
+        "repro.analysis.runner",
+        "repro.fault.campaign",
+    ):
+        assert package in modules, f"{package} missing from project model"
+    assert len(analysis.graph.edges) > 100
 
 
 def test_cli_exits_zero_on_clean_tree(capsys):

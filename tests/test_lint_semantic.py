@@ -1,0 +1,408 @@
+"""The whole-program semantic lint layer (repro.lint.semantic).
+
+Pins every layer against committed fixture trees in
+``tests/data/semantic/`` and small in-memory projects:
+
+* the project model (module naming, imports, reverse dependencies);
+* the call graph (methods, aliases, the recorded ``unresolved`` set);
+* the SPB7xx/8xx/9xx rule families against *planted* violations,
+  including the acceptance scenario — a two-hop laundered
+  ``time.time()`` flagged by SPB701 while the equivalent direct call
+  stays SPB102-only (no double-reporting);
+* the CLI surface added with the pass: ``--no-semantic``, the
+  incremental cache (``--no-cache`` / ``--cache-file``), ``--changed``
+  expansion, and fingerprinted baselines.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.lint import analyze_paths, lint_paths, run_project_rules
+from repro.lint.base import select_project_rules
+from repro.lint.baseline import Baseline
+from repro.lint.cache import LintCache, tool_fingerprint
+from repro.lint.changed import expand_changed
+from repro.lint.cli import main as lint_main
+from repro.lint.findings import Finding, Severity
+from repro.lint.semantic import SemanticAnalysis
+from repro.lint.semantic.project import ProjectModel
+
+FIXTURES = Path(__file__).resolve().parent / "data" / "semantic"
+TAINT_TREE = FIXTURES / "taint_tree"
+IO_TREE = FIXTURES / "io_tree"
+EXC_TREE = FIXTURES / "exc_tree"
+
+
+def semantic_findings(tree, codes=None):
+    analysis = analyze_paths([tree])
+    rules = select_project_rules(select=codes)
+    return run_project_rules(analysis, rules=rules)
+
+
+# ----------------------------------------------------------------------
+# project model
+
+
+def test_fixture_trees_scope_like_the_real_source():
+    project = ProjectModel.build([TAINT_TREE])
+    assert "repro.sim.engine" in project.modules
+    assert "repro.util.clock" in project.modules
+    assert not project.parse_errors
+
+
+def test_import_graph_and_reverse_dependents():
+    project = ProjectModel.build([TAINT_TREE])
+    assert "repro.util.clock" in project.import_graph["repro.sim.engine"]
+    dependents = project.dependents_of(["repro.util.clock"])
+    assert "repro.sim.engine" in dependents
+
+
+def test_relative_and_aliased_imports_resolve():
+    project = ProjectModel.from_sources(
+        {
+            "pkg": ("pkg/__init__.py", ""),
+            "pkg.helpers": (
+                "pkg/helpers.py",
+                "def helper():\n    return 1\n",
+            ),
+            "pkg.consumer": (
+                "pkg/consumer.py",
+                "from .helpers import helper as h\n\n"
+                "def use():\n    return h()\n",
+            ),
+        }
+    )
+    module = project.modules["pkg.consumer"]
+    assert project.resolve_chain(module, ["h"]) == "pkg.helpers.helper"
+
+
+# ----------------------------------------------------------------------
+# call graph
+
+
+def test_call_graph_resolves_functions_methods_and_self_calls():
+    project = ProjectModel.from_sources(
+        {
+            "pkg": ("pkg/__init__.py", ""),
+            "pkg.engine": (
+                "pkg/engine.py",
+                "class Engine:\n"
+                "    def step(self):\n"
+                "        return self.tick()\n"
+                "    def tick(self):\n"
+                "        return 0\n"
+                "\n"
+                "def drive():\n"
+                "    eng = Engine()\n"
+                "    return eng.step()\n",
+            ),
+        }
+    )
+    graph = SemanticAnalysis(project).graph
+    step_callees = {s.callee for s in graph.call_sites("pkg.engine.Engine.step")}
+    assert "pkg.engine.Engine.tick" in step_callees
+    drive_callees = {s.callee for s in graph.call_sites("pkg.engine.drive")}
+    assert "pkg.engine.Engine.__init__" not in drive_callees  # no __init__ def
+    assert "pkg.engine.Engine.step" in drive_callees
+
+
+def test_unresolved_calls_are_recorded_not_dropped():
+    project = ProjectModel.from_sources(
+        {
+            "pkg": ("pkg/__init__.py", ""),
+            "pkg.dyn": (
+                "pkg/dyn.py",
+                "def run(callback):\n    return callback()\n",
+            ),
+        }
+    )
+    graph = SemanticAnalysis(project).graph
+    assert any(
+        u.caller == "pkg.dyn.run" for u in graph.unresolved
+    ), "dynamic call must land in the unresolved set, not vanish"
+
+
+def test_real_tree_unresolved_set_is_recorded():
+    analysis = analyze_paths([Path("src")])
+    graph = analysis.graph
+    total_sites = sum(len(sites) for sites in graph.edges.values())
+    assert total_sites > 500, "the resolved call graph must be non-trivial"
+    # Soundness-gap bookkeeping: dynamic/duck-typed calls are real; they
+    # must land in the unresolved set with caller and target recorded.
+    assert graph.unresolved
+    assert all(u.caller and u.target for u in graph.unresolved)
+
+
+# ----------------------------------------------------------------------
+# SPB701-704: interprocedural determinism taint
+
+
+def test_two_hop_wallclock_taint_flagged_spb701():
+    findings = semantic_findings(TAINT_TREE, codes=["SPB701"])
+    assert len(findings) == 1
+    finding = findings[0]
+    assert finding.code == "SPB701"
+    assert finding.path.endswith("repro/sim/engine.py")
+    assert "timestamp" in finding.message
+    assert "read_clock" in finding.message
+    assert "time.time()" in finding.message
+
+
+def test_direct_call_is_spb102_only_no_double_report():
+    per_file = lint_paths([TAINT_TREE])
+    spb102_lines = {f.line for f in per_file if f.code == "SPB102"}
+    assert spb102_lines, "the planted direct time.time() must stay SPB102"
+    semantic = semantic_findings(TAINT_TREE)
+    spb701_lines = {f.line for f in semantic if f.code == "SPB701"}
+    assert not (
+        spb102_lines & spb701_lines
+    ), "a line flagged by SPB102 must never also be flagged by SPB701"
+
+
+def test_env_and_setorder_taint_flagged():
+    codes = {f.code for f in semantic_findings(TAINT_TREE)}
+    assert "SPB703" in codes
+    assert "SPB704" in codes
+
+
+def test_sorted_sanitizes_set_order():
+    findings = semantic_findings(TAINT_TREE, codes=["SPB704"])
+    assert len(findings) == 1  # only order_events; sorted_events is clean
+    assert "dedupe" in findings[0].message
+
+
+def test_project_rule_suppressions_honoured(tmp_path):
+    # Rebuild the taint fixture with a suppression on the flagged line.
+    src = (TAINT_TREE / "repro" / "sim" / "engine.py").read_text()
+    patched = src.replace(
+        'result["t"] = timestamp()',
+        'result["t"] = timestamp()  # secpb-lint: disable=SPB701',
+    )
+    assert patched != src
+    root = tmp_path / "tree"
+    for path in TAINT_TREE.rglob("*.py"):
+        rel = path.relative_to(TAINT_TREE)
+        out = root / rel
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(patched if rel.name == "engine.py" else path.read_text())
+    findings = semantic_findings(root, codes=["SPB701"])
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
+# SPB801-802: artifact-IO reachability
+
+
+def test_laundered_json_dump_flagged_spb802():
+    findings = semantic_findings(IO_TREE, codes=["SPB802"])
+    by_message = {f.message for f in findings}
+    assert any("dump_json" in m for m in by_message)
+    assert any("leaky_write" in m for m in by_message)
+    # The sanctioned write_artifact path must stay clean.
+    assert not any("save_clean" in m for m in by_message)
+
+
+def test_durability_leak_flagged_spb801():
+    findings = semantic_findings(IO_TREE, codes=["SPB801"])
+    assert len(findings) == 1
+    assert "_raw2" in findings[0].message
+    assert "save_leaky" in findings[0].message
+
+
+# ----------------------------------------------------------------------
+# SPB901: cross-module exception flow
+
+
+def test_swallowed_crash_exception_flagged_spb901():
+    findings = semantic_findings(EXC_TREE, codes=["SPB901"])
+    assert len(findings) == 1
+    finding = findings[0]
+    assert "CrashVerdictError" in finding.message
+    assert "verify_recovery" in finding.message
+    assert finding.path.endswith("repro/analysis/grader.py")
+
+
+def test_logging_handler_is_compliant():
+    findings = semantic_findings(EXC_TREE, codes=["SPB901"])
+    # grade_loud logs before degrading: exactly one finding (grade).
+    assert len(findings) == 1
+
+
+# ----------------------------------------------------------------------
+# incremental cache
+
+
+def test_cache_roundtrip_and_content_invalidation(tmp_path):
+    cache_path = tmp_path / "cache.json"
+    fingerprint = tool_fingerprint()
+    cache = LintCache(cache_path, fingerprint)
+    finding = Finding(
+        code="SPB102",
+        severity=Severity.ERROR,
+        path="x.py",
+        line=3,
+        col=0,
+        message="m",
+    )
+    cache.put_file("x.py", "digest-a", "pkg.x", [finding])
+    cache.save()
+
+    loaded = LintCache.load(cache_path, fingerprint)
+    hit = loaded.get_file("x.py", "digest-a", "pkg.x")
+    assert hit == [finding]
+    assert loaded.get_file("x.py", "digest-B", "pkg.x") is None
+    assert loaded.get_file("x.py", "digest-a", "other.module") is None
+    assert loaded.hits == 1 and loaded.misses == 2
+
+
+def test_cache_dropped_on_fingerprint_change(tmp_path):
+    cache_path = tmp_path / "cache.json"
+    cache = LintCache(cache_path, "fp-1")
+    cache.put_file("x.py", "d", "m", [])
+    cache.save()
+    assert LintCache.load(cache_path, "fp-1").get_file("x.py", "d", "m") == []
+    assert LintCache.load(cache_path, "fp-2").get_file("x.py", "d", "m") is None
+
+
+def test_corrupt_cache_file_is_ignored(tmp_path):
+    cache_path = tmp_path / "cache.json"
+    cache_path.write_text("{not json")
+    loaded = LintCache.load(cache_path, "fp")
+    assert loaded.get_file("x.py", "d", "m") is None
+
+
+def test_cli_cache_speeds_up_and_is_correct(tmp_path):
+    cache_file = str(tmp_path / "cache.json")
+    tree = str(TAINT_TREE)
+    first = lint_main([tree, "--cache-file", cache_file])
+    second = lint_main([tree, "--cache-file", cache_file])
+    assert first == second == 1  # planted findings, identical verdict
+    assert Path(cache_file).exists()
+
+
+def test_tool_fingerprint_covers_rule_selection():
+    assert tool_fingerprint() != tool_fingerprint(extra=["select:SPB102"])
+
+
+# ----------------------------------------------------------------------
+# --changed expansion
+
+
+def test_expand_changed_includes_reverse_dependents():
+    helper = TAINT_TREE / "repro" / "util" / "clock.py"
+    expanded = expand_changed([TAINT_TREE], [helper])
+    names = {p.name for p in expanded}
+    assert "clock.py" in names
+    assert "engine.py" in names, "importers of the changed module re-lint"
+    assert "collections.py" not in names  # unrelated module stays out
+
+
+def test_expand_changed_outside_target_is_empty(tmp_path):
+    other = tmp_path / "other.py"
+    other.write_text("x = 1\n")
+    assert expand_changed([TAINT_TREE], [other]) == []
+
+
+# ----------------------------------------------------------------------
+# baselines
+
+
+def _planted_findings():
+    return lint_paths([TAINT_TREE]) + semantic_findings(TAINT_TREE)
+
+
+def test_baseline_subtracts_known_findings(tmp_path):
+    findings = _planted_findings()
+    assert findings
+    baseline = Baseline.from_findings(findings)
+    new, stale = baseline.apply(findings)
+    assert new == [] and stale == []
+
+
+def test_baseline_survives_line_shifts(tmp_path):
+    # The fingerprint hashes line *content*, not line numbers: inserting
+    # unrelated lines above the finding keeps the baseline valid.
+    root = tmp_path / "tree"
+    (root / "repro" / "sim").mkdir(parents=True)
+    (root / "repro" / "__init__.py").write_text("")
+    (root / "repro" / "sim" / "__init__.py").write_text("")
+    bad = root / "repro" / "sim" / "eng.py"
+    bad.write_text("import time\n\n\ndef stamp():\n    return time.time()\n")
+    baseline = Baseline.from_findings(lint_paths([root]))
+    bad.write_text(
+        "import time\n\nPAD = 1\nPAD2 = 2\n\n\ndef stamp():\n"
+        "    return time.time()\n"
+    )
+    shifted = lint_paths([root])
+    assert {f.line for f in shifted} != {
+        e["line"] for e in baseline.entries
+    }, "the finding really moved"
+    new, stale = baseline.apply(shifted)
+    assert new == [] and stale == []
+
+
+def test_cli_baseline_flow(tmp_path, capsys):
+    baseline_file = str(tmp_path / "lint-baseline.json")
+    tree = str(TAINT_TREE)
+    args = [tree, "--no-cache", "--baseline", baseline_file]
+    assert lint_main(args + ["--update-baseline"]) == 0
+    capsys.readouterr()
+    assert lint_main(args) == 0, "baselined tree reports clean"
+    out = capsys.readouterr().out
+    assert "secpb-lint: clean" in out
+
+
+def test_cli_stale_baseline_is_an_error(tmp_path, capsys):
+    # Baseline a tree, then fix the findings: stale entries -> exit 2.
+    root = tmp_path / "tree"
+    (root / "repro" / "sim").mkdir(parents=True)
+    (root / "repro" / "__init__.py").write_text("")
+    (root / "repro" / "sim" / "__init__.py").write_text("")
+    bad = root / "repro" / "sim" / "eng.py"
+    bad.write_text("import time\n\n\ndef stamp():\n    return time.time()\n")
+    baseline_file = str(tmp_path / "bl.json")
+    args = [str(root), "--no-cache", "--baseline", baseline_file]
+    assert lint_main(args + ["--update-baseline"]) == 0
+    assert lint_main(args) == 0
+    bad.write_text("def stamp():\n    return 0.0\n")
+    capsys.readouterr()
+    assert lint_main(args) == 2
+    err = capsys.readouterr().err
+    assert "stale baseline entry" in err
+
+
+# ----------------------------------------------------------------------
+# CLI composition
+
+
+def test_no_semantic_hides_project_findings(capsys):
+    tree = str(TAINT_TREE)
+    assert lint_main([tree, "--no-cache", "--no-semantic"]) == 1
+    out = capsys.readouterr().out
+    assert "SPB102" in out
+    assert "SPB701" not in out
+
+
+def test_json_report_includes_semantic_codes(capsys):
+    assert lint_main([str(TAINT_TREE), "--no-cache", "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["counts"].get("SPB701") == 1
+    assert payload["counts"].get("SPB102") == 1
+
+
+def test_list_rules_includes_semantic_codes(capsys):
+    assert lint_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code in ("SPB701", "SPB702", "SPB703", "SPB704", "SPB801", "SPB802", "SPB901"):
+        assert code in out
+
+
+def test_select_semantic_code_runs_only_that_family(capsys):
+    assert (
+        lint_main([str(TAINT_TREE), "--no-cache", "--select", "SPB701"]) == 1
+    )
+    out = capsys.readouterr().out
+    assert "SPB701" in out
+    assert "SPB102" not in out
