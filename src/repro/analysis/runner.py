@@ -12,10 +12,20 @@ reduction is *identical* regardless of worker count or completion order:
   config dataclasses), so workers rebuild the simulator from scratch and
   every run is bit-deterministic;
 * traces come from the process-local memoizing
-  :mod:`repro.workloads.store`, so each worker materializes any given
-  (benchmark, num_ops, seed) trace at most once across all its jobs;
+  :mod:`repro.workloads.store`; in parallel runs the parent publishes
+  each materialized trace once into the shared-memory plane
+  (:mod:`repro.runtime.shm`) and workers *attach* zero-copy read-only
+  views instead of rebuilding — a worker materializes a trace only when
+  the plane is cold or disabled;
+* jobs are dispatched in **batches** over a process-wide *warm*
+  :class:`~repro.runtime.pool.WorkerPool` (:mod:`repro.runtime.pool`)
+  that survives across ``run_tasks`` calls, amortizing both pool
+  construction and per-future pickle/IPC; ``SECPB_EXEC_PLANE=0``
+  restores the legacy fresh-pool-per-call, one-future-per-task
+  behavior;
 * results are assembled in *submission order* into a plain dict — the
-  parallel output is the same object, bit for bit, as the serial one.
+  parallel output is the same object, bit for bit, as the serial one,
+  whatever the batching.
 
 The generic engine underneath, :func:`run_tasks`, also powers the
 fault-injection campaign (:mod:`repro.fault`) and is **hardened**: a
@@ -46,7 +56,6 @@ from __future__ import annotations
 import logging
 import time
 import traceback
-from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass
 from typing import (
@@ -67,10 +76,18 @@ from ..core.simulator import SecurePersistencySimulator
 from ..durability.interrupt import RunInterrupted, StopToken
 from ..obs.metrics import MetricsRegistry
 from ..obs.tracing import LANE_STORES, Tracer
+from ..runtime.pool import (
+    WorkerPool,
+    discard_shared_pool,
+    ephemeral_pool,
+    get_shared_pool,
+    plane_enabled,
+)
+from ..runtime.shm import TraceAttachSetup, shared_registry, shm_enabled
 from ..security.bmf import ForestTimingModel
 from ..sim.config import SystemConfig
 from ..sim.stats import SimulationResult
-from ..workloads.store import get_trace
+from ..workloads.store import DEFAULT_STORE, get_trace, store_counters
 
 logger = logging.getLogger(__name__)
 
@@ -206,12 +223,23 @@ def _check_unique_keys(tasks: Sequence[Any]) -> None:
         raise ValueError(f"duplicate job keys: {sorted(map(str, dupes))}")
 
 
-def _failure_for(key: JobKey, exc: BaseException, attempts: int) -> JobFailure:
+def _failure_for(
+    key: JobKey,
+    exc: BaseException,
+    attempts: int,
+    tb: Optional[str] = None,
+) -> JobFailure:
+    """Build a :class:`JobFailure`; ``tb`` carries a worker-side traceback.
+
+    Batched pool execution formats the traceback in the worker (where
+    the frames still exist) and ships the string; the serial path and
+    pool-level failures format the local exception instead.
+    """
     return JobFailure(
         key=key,
         error_type=type(exc).__name__,
         message=str(exc),
-        traceback="".join(
+        traceback=tb if tb is not None else "".join(
             traceback.format_exception(type(exc), exc, exc.__traceback__)
         ),
         attempts=attempts,
@@ -291,6 +319,52 @@ class _RunnerObs:
 
     def task_salvaged(self) -> None:
         self._count("runner.tasks_salvaged", "In-flight results salvaged at interrupt")
+
+    # Execution-plane metrics.  All of these vary with worker count,
+    # batching, and pool reuse history, so every one is registered
+    # ``deterministic=False`` — reproducible snapshots stay identical
+    # across ``--jobs`` values, exactly like the wall-clock histogram.
+
+    def pool_acquired(self, pool: "WorkerPool") -> None:
+        if self._metrics is None:
+            return
+        self._metrics.gauge(
+            "runner.pool_workers",
+            "Worker count of the acquired pool",
+            deterministic=False,
+        ).set(pool.workers)
+        self._metrics.gauge(
+            "runner.pool_generation",
+            "Fork generation of the acquired pool",
+            deterministic=False,
+        ).set(pool.generation)
+        self._metrics.counter(
+            "runner.pool_reuses",
+            "Acquisitions served by an already-warm pool",
+            deterministic=False,
+        ).inc(1 if pool.runs > 1 else 0)
+
+    def batches_submitted(self, count: int) -> None:
+        if self._metrics is not None:
+            self._metrics.counter(
+                "runner.batches_submitted",
+                "Task batches handed to pool workers",
+                deterministic=False,
+            ).inc(count)
+
+    def worker_store_stats(self, built: int, attached: int) -> None:
+        if self._metrics is not None:
+            self._metrics.counter(
+                "runner.worker_traces_built",
+                "Traces materialized from scratch inside pool workers",
+                deterministic=False,
+            ).inc(built)
+            self._metrics.counter(
+                "runner.worker_trace_attaches",
+                "Zero-copy shared-memory trace attaches inside pool workers",
+                deterministic=False,
+            ).inc(attached)
+
 
 
 def _run_tasks_serial(
@@ -375,38 +449,141 @@ def _wait_result(
             waited += chunk
 
 
+@dataclass(frozen=True)
+class _BatchError:
+    """One task's failure inside a batch, formatted worker-side.
+
+    Carries both the exception object (re-raised under
+    ``on_error="raise"``) and the traceback string formatted where the
+    frames still existed, so a recorded :class:`JobFailure` shows the
+    worker stack — not the batch plumbing.
+    """
+
+    exception: BaseException
+    error_type: str
+    traceback: str
+
+
+_BatchOutcome = Any  # Tuple[result, elapsed] | _BatchError
+
+
+def _run_batch(
+    fn: Callable[[Any], Any],
+    tasks: Sequence[Any],
+    setup: Optional[Callable[[], None]],
+) -> Tuple[List[_BatchOutcome], int, int]:
+    """Worker-side: run one batch of tasks sequentially, one IPC round-trip.
+
+    ``setup`` (when present) re-announces the owner's shared-memory
+    manifest before the first task, so a warm pool's workers see traces
+    published after they were forked; a setup failure only disables the
+    zero-copy path (tasks fall back to local regeneration).  Returns the
+    per-task outcomes in task order plus the batch's trace-store deltas
+    ``(built, attach_hits)`` for the runner's observability counters.
+    """
+    if setup is not None:
+        try:
+            setup()
+        except Exception:
+            logger.exception("batch setup failed; traces rebuilt locally")
+    built_before, attached_before = store_counters()
+    outcomes: List[_BatchOutcome] = []
+    for task in tasks:
+        start = time.perf_counter()
+        try:
+            result = fn(task)
+        except Exception as exc:
+            outcomes.append(
+                _BatchError(
+                    exception=exc,
+                    error_type=type(exc).__name__,
+                    traceback=traceback.format_exc(),
+                )
+            )
+        else:
+            outcomes.append((result, time.perf_counter() - start))
+    built_after, attached_after = store_counters()
+    return outcomes, built_after - built_before, attached_after - attached_before
+
+
+def _chunk_size(
+    total: int,
+    workers: int,
+    chunk: Optional[int],
+    timeout: Optional[float],
+) -> int:
+    """Tasks per submitted batch.
+
+    An explicit ``chunk`` wins.  A per-task ``timeout`` forces 1: the
+    harvest deadline is per *future*, so batching would make tasks share
+    one budget and break the wedged-worker semantics.  Otherwise the
+    size adapts to roughly four batches per worker (capped at 32) —
+    small enough that stragglers still balance across the pool, large
+    enough to amortize pickle/IPC per future.
+    """
+    if timeout is not None:
+        return 1
+    if chunk is not None:
+        if chunk < 1:
+            raise ValueError(f"chunk must be >= 1, got {chunk}")
+        return chunk
+    return max(1, min(32, -(-total // (workers * 4))))
+
+
 def _salvage_in_flight(
-    remaining: Sequence[Tuple[Any, Any]],
+    remaining: Sequence[Tuple[Sequence[Any], Any]],
     results: Dict[JobKey, Any],
     on_result: Optional[Callable[[JobKey, Any], None]],
     obs: Optional[_RunnerObs] = None,
 ) -> None:
     """At interrupt: cancel what never started, keep what finished anyway.
 
-    In-flight futures get a shared :data:`_SALVAGE_GRACE` budget to
-    deliver — work a worker already paid for should reach the journal,
-    not be thrown away.  Anything still running after the grace is
+    In-flight batch futures get a shared :data:`_SALVAGE_GRACE` budget
+    to deliver — work a worker already paid for should reach the
+    journal, not be thrown away.  Every completed outcome of a delivered
+    batch is salvaged; anything still running after the grace is
     abandoned (it re-runs on ``--resume``).
     """
     # Cancel everything still queued in ONE pass before waiting on
     # anything — otherwise freed workers keep picking up queued futures
     # while we salvage, and "stop submitting" never actually stops.
     in_flight = [
-        (task, future) for task, future in remaining if not future.cancel()
+        (batch, future) for batch, future in remaining if not future.cancel()
     ]
     deadline = time.monotonic() + _SALVAGE_GRACE
-    for task, future in in_flight:
+    for batch, future in in_flight:
         grace = max(0.0, deadline - time.monotonic())
         try:
-            result, _elapsed = future.result(timeout=grace)
+            outcomes, _built, _attached = future.result(timeout=grace)
         except FutureTimeoutError:
             continue  # still running; abandoned for the resume to redo
         except Exception:
             continue  # failed in flight; the resume will retry it
-        _record(results, task.key, result, on_result)
-        if obs is not None:
-            obs.task_salvaged()
-        logger.info("%s: salvaged at interrupt", task.key)
+        for task, outcome in zip(batch, outcomes):
+            if isinstance(outcome, _BatchError):
+                continue  # failed in flight; the resume will retry it
+            result, _elapsed = outcome
+            _record(results, task.key, result, on_result)
+            if obs is not None:
+                obs.task_salvaged()
+            logger.info("%s: salvaged at interrupt", task.key)
+
+
+def _acquire_pool(
+    pool: Optional[WorkerPool], workers: int, total: int
+) -> Tuple[WorkerPool, bool]:
+    """The pool for this run and whether it is the shared (warm) one.
+
+    With the execution plane on, every caller shares one process-wide
+    warm pool; with ``SECPB_EXEC_PLANE=0`` each run gets a single-use
+    pool sized to its work (the legacy behavior).  An explicitly passed
+    pool is used as-is.
+    """
+    if pool is not None:
+        return pool, pool.persistent
+    if plane_enabled():
+        return get_shared_pool(workers), True
+    return ephemeral_pool(min(workers, total)), False
 
 
 def _run_tasks_pool(
@@ -419,6 +596,9 @@ def _run_tasks_pool(
     stop: Optional[StopToken],
     on_result: Optional[Callable[[JobKey, Any], None]],
     obs: Optional[_RunnerObs] = None,
+    chunk: Optional[int] = None,
+    setup: Optional[Callable[[], None]] = None,
+    pool: Optional[WorkerPool] = None,
 ) -> Dict[JobKey, Any]:
     total = len(tasks)
     results: Dict[JobKey, Any] = {}
@@ -426,28 +606,53 @@ def _run_tasks_pool(
     attempts: Dict[JobKey, int] = {task.key: 0 for task in tasks}
     timed_out = False
     interrupted = False
-    pool = ProcessPoolExecutor(max_workers=min(workers, total))
+    completed_normally = False
+    pool, shared = _acquire_pool(pool, workers, total)
+    chunk_size = _chunk_size(total, workers, chunk, timeout)
+    if obs is not None:
+        obs.pool_acquired(pool)
     try:
         pending = list(tasks)
-        round_index = 0
         while pending:
-            round_index += 1
-            futures = [(task, pool.submit(_timed_call, fn, task)) for task in pending]
+            if not pool.healthy:
+                # A crashed worker broke the previous round's pool; the
+                # retry round gets a fresh generation so one casualty
+                # cannot poison every subsequent attempt.
+                if shared:
+                    discard_shared_pool(pool)
+                    pool = get_shared_pool(workers)
+                else:
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    pool = ephemeral_pool(min(workers, len(pending)))
+                if obs is not None:
+                    obs.pool_acquired(pool)
+            round_total = len(pending)
+            batches = [
+                pending[start:start + chunk_size]
+                for start in range(0, round_total, chunk_size)
+            ]
+            futures = [
+                (batch, pool.submit(_run_batch, fn, batch, setup))
+                for batch in batches
+            ]
+            if obs is not None:
+                obs.batches_submitted(len(futures))
             retry: List[Any] = []
-            for index, (task, future) in enumerate(futures, start=1):
-                key = task.key
-                attempts[key] += 1
+            index = 0
+            for batch_index, (batch, future) in enumerate(futures):
                 try:
-                    # Harvest in submission order; the per-task timeout is
-                    # measured from when the harvest starts waiting on the
-                    # future, so a task never gets *less* than `timeout`
+                    # Harvest in submission order; the per-task timeout
+                    # is measured from when the harvest starts waiting on
+                    # the future (chunk size is 1 whenever a timeout is
+                    # set), so a task never gets *less* than `timeout`
                     # seconds of wall clock.
-                    result, elapsed = _wait_result(future, timeout, stop)
+                    outcomes, built, attached = _wait_result(
+                        future, timeout, stop
+                    )
                 except _StopRequested:
                     interrupted = True
-                    attempts[key] -= 1  # this attempt never concluded
                     _salvage_in_flight(
-                        futures[index - 1:], results, on_result, obs
+                        futures[batch_index:], results, on_result, obs
                     )
                     assert stop is not None
                     raise RunInterrupted(stop.reason, results)
@@ -455,67 +660,123 @@ def _run_tasks_pool(
                     # The worker may be wedged; record and move on — the
                     # remaining futures are still harvested (salvage).
                     timed_out = True
-                    if obs is not None:
-                        obs.task_timeout()
-                    _record(
-                        results, key,
-                        JobFailure(
-                            key=key,
-                            error_type="TimeoutError",
-                            message=(
-                                f"no result within {timeout}s; "
-                                "worker abandoned"
+                    for task in batch:
+                        key = task.key
+                        attempts[key] += 1
+                        index += 1
+                        if obs is not None:
+                            obs.task_timeout()
+                        _record(
+                            results, key,
+                            JobFailure(
+                                key=key,
+                                error_type="TimeoutError",
+                                message=(
+                                    f"no result within {timeout}s; "
+                                    "worker abandoned"
+                                ),
+                                traceback="",
+                                attempts=attempts[key],
+                                timed_out=True,
                             ),
-                            traceback="",
-                            attempts=attempts[key],
-                            timed_out=True,
-                        ),
-                        on_result,
-                    )
-                    logger.info(
-                        "[%d/%d] %s: TIMED OUT after %.1fs",
-                        index, len(futures), key, timeout,
-                    )
-                    if on_error == "raise":
-                        raise TimeoutError(
-                            f"job {key!r} produced no result within {timeout}s"
+                            on_result,
                         )
+                        logger.info(
+                            "[%d/%d] %s: TIMED OUT after %.1fs",
+                            index, round_total, key, timeout,
+                        )
+                        if on_error == "raise":
+                            raise TimeoutError(
+                                f"job {key!r} produced no result within "
+                                f"{timeout}s"
+                            )
                     continue
                 except Exception as exc:
-                    if attempts[key] <= retries:
-                        retry.append(task)
+                    # Pool-level failure (a crashed worker raises
+                    # BrokenProcessPool on every outstanding future): no
+                    # task in this batch produced an outcome.  Mark the
+                    # pool for recycling and put the tasks through the
+                    # normal retry/record/raise accounting.
+                    pool.mark_unhealthy()
+                    for task in batch:
+                        key = task.key
+                        attempts[key] += 1
+                        index += 1
+                        if attempts[key] <= retries:
+                            retry.append(task)
+                            if obs is not None:
+                                obs.task_retried()
+                            logger.info(
+                                "[%d/%d] %s failed (%s), retrying",
+                                index, round_total, key, type(exc).__name__,
+                            )
+                            continue
+                        if on_error == "raise":
+                            raise
+                        _record(
+                            results, key,
+                            _failure_for(key, exc, attempts[key]), on_result,
+                        )
                         if obs is not None:
-                            obs.task_retried()
+                            obs.task_failed()
                         logger.info(
-                            "[%d/%d] %s failed (%s), retrying",
-                            index, len(futures), key, type(exc).__name__,
+                            "[%d/%d] %s: FAILED after %d attempt(s)",
+                            index, round_total, key, attempts[key],
+                        )
+                    continue
+                if obs is not None:
+                    obs.worker_store_stats(built, attached)
+                for task, outcome in zip(batch, outcomes):
+                    key = task.key
+                    attempts[key] += 1
+                    index += 1
+                    if isinstance(outcome, _BatchError):
+                        if attempts[key] <= retries:
+                            retry.append(task)
+                            if obs is not None:
+                                obs.task_retried()
+                            logger.info(
+                                "[%d/%d] %s failed (%s), retrying",
+                                index, round_total, key, outcome.error_type,
+                            )
+                            continue
+                        if on_error == "raise":
+                            raise outcome.exception
+                        _record(
+                            results, key,
+                            _failure_for(
+                                key, outcome.exception, attempts[key],
+                                tb=outcome.traceback,
+                            ),
+                            on_result,
+                        )
+                        if obs is not None:
+                            obs.task_failed()
+                        logger.info(
+                            "[%d/%d] %s: FAILED after %d attempt(s)",
+                            index, round_total, key, attempts[key],
                         )
                         continue
-                    if on_error == "raise":
-                        raise
-                    _record(
-                        results, key,
-                        _failure_for(key, exc, attempts[key]), on_result,
-                    )
+                    result, elapsed = outcome
+                    _record(results, key, result, on_result)
                     if obs is not None:
-                        obs.task_failed()
+                        obs.task_done(key, elapsed)
                     logger.info(
-                        "[%d/%d] %s: FAILED after %d attempt(s)",
-                        index, len(futures), key, attempts[key],
+                        "[%d/%d] %s: done in %.2fs",
+                        index, round_total, key, elapsed,
                     )
-                    continue
-                _record(results, key, result, on_result)
-                if obs is not None:
-                    obs.task_done(key, elapsed)
-                logger.info(
-                    "[%d/%d] %s: done in %.2fs",
-                    index, len(futures), key, elapsed,
-                )
             pending = retry
+        completed_normally = True
     finally:
         # A timed-out (or abandoned-at-interrupt) worker may never
-        # return; don't block shutdown on it.
-        if timed_out or interrupted:
+        # return; don't block shutdown on it, and never hand a pool with
+        # that history — or with futures abandoned by a raising harvest
+        # — to the next run.
+        if shared:
+            if not (completed_normally and pool.healthy):
+                discard_shared_pool(pool)
+            # A healthy shared pool stays warm for the next run.
+        elif timed_out or interrupted or not completed_normally:
             pool.shutdown(wait=False, cancel_futures=True)
         else:
             pool.shutdown(wait=True)
@@ -534,6 +795,9 @@ def run_tasks(
     stop: Optional[StopToken] = None,
     metrics: Optional[MetricsRegistry] = None,
     tracer: Optional[Tracer] = None,
+    chunk: Optional[int] = None,
+    setup: Optional[Callable[[], None]] = None,
+    pool: Optional[WorkerPool] = None,
 ) -> Dict[JobKey, Any]:
     """Execute keyed tasks and return ``{task.key: result}`` in task order.
 
@@ -580,6 +844,20 @@ def run_tasks(
         tracer: optional :class:`repro.obs.Tracer` receiving one
             ``runner.job`` complete-event per finished task, keyed by
             wall seconds since the run started.
+        chunk: tasks per submitted batch (pool mode).  Default adapts
+            to the task count and worker count; a per-task ``timeout``
+            forces 1 so the timeout budget stays per task.  Batching
+            never changes results — the harvest stays in submission
+            order.
+        setup: optional picklable zero-argument callable run in the
+            worker before each batch (e.g.
+            :class:`repro.runtime.shm.TraceAttachSetup` announcing the
+            shared-memory trace manifest).  A failing setup is logged
+            in the worker and the batch proceeds.
+        pool: optional explicit :class:`repro.runtime.pool.WorkerPool`.
+            By default the process-wide warm pool is shared and reused
+            across calls (``SECPB_EXEC_PLANE=0`` restores the legacy
+            single-use pool per call).
 
     Returns:
         Results keyed and ordered by ``task.key``; under
@@ -620,7 +898,7 @@ def run_tasks(
         else:
             fresh = _run_tasks_pool(
                 todo, fn, workers, on_error, retries, timeout, stop,
-                on_result, obs,
+                on_result, obs, chunk=chunk, setup=setup, pool=pool,
             )
     except RunInterrupted as exc:
         # Re-raise with the journaled prefix merged in, so the caller's
@@ -630,6 +908,55 @@ def run_tasks(
         raise RunInterrupted(exc.reason, merged) from None
     done.update(fresh)
     return {task.key: done[task.key] for task in tasks}
+
+
+def _publish_job_traces(
+    jobs: Sequence[SimJob],
+    completed: Optional[Dict[JobKey, Any]],
+    metrics: Optional[MetricsRegistry],
+) -> Optional[TraceAttachSetup]:
+    """Publish each unique trace of ``jobs`` once; the workers' setup hook.
+
+    The parent materializes every distinct ``(benchmark, num_ops,
+    seed)`` through the default store (memoized, so repeated sweeps pay
+    nothing) and publishes it to the shared-memory plane; the returned
+    setup makes batch workers attach instead of rebuild.  A trace that
+    fails to build here (e.g. an unknown benchmark in a poisoned job) is
+    skipped so the *worker* raises the real error with full context and
+    the record/retry semantics stay exactly as before.
+    """
+    registry = shared_registry()
+    for job in jobs:
+        if completed is not None and job.key in completed:
+            continue
+        trace_key = (job.benchmark, int(job.num_ops), int(job.seed))
+        if trace_key in registry:
+            continue
+        try:
+            trace = DEFAULT_STORE.get(*trace_key)
+        except Exception:
+            continue
+        digest = DEFAULT_STORE.checksum(*trace_key)
+        if digest is None:  # evicted from a bounded store; re-fingerprint
+            from ..workloads.store import trace_digest
+
+            digest = trace_digest(trace)
+        registry.publish(trace_key, trace, digest)
+    if metrics is not None:
+        stats = registry.stats()
+        metrics.gauge(
+            "store.shm_segments",
+            "Trace segments published to the shared-memory plane",
+            deterministic=False,
+        ).set(stats["segments"])
+        metrics.gauge(
+            "store.shm_bytes",
+            "Resident bytes of published trace segments",
+            deterministic=False,
+        ).set(stats["bytes"])
+    if not len(registry):
+        return None
+    return TraceAttachSetup(registry.manifest())
 
 
 def run_jobs(
@@ -643,14 +970,19 @@ def run_jobs(
     stop: Optional[StopToken] = None,
     metrics: Optional[MetricsRegistry] = None,
     tracer: Optional[Tracer] = None,
+    chunk: Optional[int] = None,
 ) -> Dict[JobKey, SimulationResult]:
     """Execute ``jobs`` and return ``{job.key: result}`` in job order.
 
     ``workers <= 1`` runs serially in-process (the default, and the
-    reference behavior); ``workers > 1`` fans jobs out on a process pool.
-    Both paths produce bit-identical result mappings — the simulations
-    are deterministic and results are keyed, so completion order cannot
-    leak into the output.
+    reference behavior); ``workers > 1`` fans jobs out in batches on the
+    process-wide warm pool, after publishing each distinct trace once
+    into the shared-memory plane so workers attach zero-copy views
+    instead of rebuilding (``SECPB_TRACE_SHM=0`` disables the segments,
+    ``SECPB_EXEC_PLANE=0`` the whole plane).  All paths produce
+    bit-identical result mappings — the simulations are deterministic
+    and results are keyed, so completion order cannot leak into the
+    output.
 
     Hardening knobs (``on_error``/``retries``/``timeout``) are forwarded
     to :func:`run_tasks`; with ``on_error="record"`` a failing job maps
@@ -659,6 +991,14 @@ def run_jobs(
     (``completed``/``on_result``/``stop``) are forwarded too — see
     :func:`run_tasks`.
     """
+    setup: Optional[TraceAttachSetup] = None
+    if (
+        workers > 1
+        and len(jobs) > 1
+        and plane_enabled()
+        and shm_enabled()
+    ):
+        setup = _publish_job_traces(jobs, completed, metrics)
     return run_tasks(
         jobs,
         execute_job,
@@ -671,4 +1011,6 @@ def run_jobs(
         stop=stop,
         metrics=metrics,
         tracer=tracer,
+        chunk=chunk,
+        setup=setup,
     )

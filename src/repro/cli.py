@@ -130,6 +130,11 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     kwargs: Dict[str, Any] = {}
     if args.id in TIMING_EXPERIMENTS:
         kwargs.update(num_ops=args.num_ops, seed=args.seed, jobs=args.jobs)
+    if getattr(args, "chunk", None) is not None and args.id not in TIMING_EXPERIMENTS:
+        raise SystemExit(
+            f"error: --chunk only applies to the trace-driven experiments "
+            f"({', '.join(TIMING_EXPERIMENTS)}); {args.id} finishes instantly"
+        )
     # Observability and checkpointing both ride on runner_opts, which the
     # experiment forwards verbatim to run_jobs.  Per-job progress/timing
     # goes to stderr via logging, keeping the rendered artifact on stdout
@@ -145,6 +150,8 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     )
     if tracer is not None:
         runner_opts["tracer"] = tracer
+    if getattr(args, "chunk", None) is not None:
+        runner_opts["chunk"] = args.chunk
     writer = None
     token = None
     if journal is not None:
@@ -409,6 +416,7 @@ def _cmd_faultcampaign(args: argparse.Namespace) -> int:
                 stop=token,
                 metrics=registry,
                 tracer=tracer,
+                chunk=args.chunk,
             )
     except RunInterrupted as exc:
         return _report_interrupt(exc, journal)
@@ -514,6 +522,14 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="worker processes for the simulation sweep (default: serial)",
+    )
+    experiment.add_argument(
+        "--chunk",
+        type=int,
+        metavar="N",
+        default=None,
+        help="simulations per worker batch with --jobs > 1 (default: "
+        "adaptive); results are byte-identical either way",
     )
     experiment.add_argument(
         "--save",
@@ -685,6 +701,14 @@ def build_parser() -> argparse.ArgumentParser:
     faultcampaign.add_argument("--seed", type=int, default=2023)
     faultcampaign.add_argument(
         "--jobs", type=int, default=1, help="worker processes (default: serial)"
+    )
+    faultcampaign.add_argument(
+        "--chunk",
+        type=int,
+        metavar="N",
+        default=None,
+        help="cases per worker batch with --jobs > 1 (default: adaptive; "
+        "--timeout forces per-case dispatch)",
     )
     faultcampaign.add_argument(
         "--timeout",

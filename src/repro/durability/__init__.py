@@ -42,6 +42,8 @@ from .interrupt import (
     RunInterrupted,
     StopToken,
     graceful_shutdown,
+    register_emergency_cleanup,
+    run_emergency_cleanups,
 )
 from .journal import (
     JOURNAL_VERSION,
@@ -81,6 +83,8 @@ __all__ = [
     "quarantine_artifact",
     "read_journal",
     "read_verified",
+    "register_emergency_cleanup",
+    "run_emergency_cleanups",
     "verify_artifact",
     "write_artifact",
 ]

@@ -14,13 +14,43 @@ journal flush and exit with :data:`EXIT_RESUMABLE` (75, BSD
 
 from __future__ import annotations
 
+import logging
+import os
 import signal
 import time
 from contextlib import contextmanager
-from typing import Any, Dict, Iterator, Optional
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+logger = logging.getLogger(__name__)
 
 EXIT_RESUMABLE = 75
 """Process exit code for "interrupted but resumable" (BSD ``EX_TEMPFAIL``)."""
+
+
+_EMERGENCY_CLEANUPS: List[Callable[[], Any]] = []
+
+
+def register_emergency_cleanup(fn: Callable[[], Any]) -> None:
+    """Register a cleanup to run on the forced-exit signal path.
+
+    Subsystems owning external resources that ``atexit`` alone cannot
+    guarantee to release — shared-memory segments, lock files — register
+    a teardown here.  The handlers run (idempotently, best-effort) when
+    a *second* SIGINT/SIGTERM arrives inside :func:`graceful_shutdown`,
+    immediately before the process force-exits: the user escalated past
+    the cooperative checkpoint, and ``atexit`` will not get a chance.
+    """
+    if fn not in _EMERGENCY_CLEANUPS:
+        _EMERGENCY_CLEANUPS.append(fn)
+
+
+def run_emergency_cleanups() -> None:
+    """Run every registered emergency cleanup, logging (not raising) errors."""
+    for fn in list(_EMERGENCY_CLEANUPS):
+        try:
+            fn()
+        except Exception:
+            logger.exception("emergency cleanup %r failed", fn)
 
 
 class StopToken:
@@ -82,12 +112,19 @@ def graceful_shutdown(token: StopToken) -> Iterator[StopToken]:
 
     The first signal trips the token (the runner then checkpoints and
     exits cleanly); previous handlers are restored on exit so nested or
-    subsequent signal use behaves normally.  A second SIGINT falls
-    through to the restored handler once the block exits — there is no
-    force-kill escalation here by design: checkpointing is fast.
+    subsequent signal use behaves normally.  A *second* signal while the
+    token is already tripped means the user escalated past the
+    cooperative checkpoint: the registered emergency cleanups run
+    (releasing external resources such as shared-memory segments that
+    ``atexit`` would otherwise have covered) and the process force-exits
+    with :data:`EXIT_RESUMABLE` — the journal written so far is intact,
+    so ``--resume`` still works.
     """
 
     def _handler(signum: int, frame: Any) -> None:
+        if token.triggered:
+            run_emergency_cleanups()
+            os._exit(EXIT_RESUMABLE)
         token.trip(f"received {signal.Signals(signum).name}")
 
     previous = {}

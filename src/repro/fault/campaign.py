@@ -506,13 +506,18 @@ def run_campaign(
     stop: Optional[StopToken] = None,
     metrics: Optional[MetricsRegistry] = None,
     tracer: Optional[Tracer] = None,
+    chunk: Optional[int] = None,
 ) -> CampaignReport:
     """Build, execute, and grade a full campaign.
 
     Cases run on :func:`~repro.analysis.runner.run_tasks` with
     ``on_error="record"`` and one retry, so a case that *raises* (as
     opposed to failing its grade) lands in ``job_failures`` without
-    disturbing any other case.  Failing cases are shrunk to minimal
+    disturbing any other case.  Parallel campaigns (``jobs > 1``) share
+    the process-wide warm :class:`~repro.runtime.pool.WorkerPool` and
+    dispatch cases in batches (``chunk`` overrides the adaptive size; a
+    ``timeout`` forces per-case dispatch) — the report stays assembled
+    in case order either way.  Failing cases are shrunk to minimal
     replayable reproducers unless ``minimize`` is off.
 
     With ``journal`` set, each case's outcome is appended (and fsynced)
@@ -594,7 +599,7 @@ def run_campaign(
             cases, execute_case, workers=jobs, on_error="record",
             retries=1, timeout=timeout,
             completed=completed, on_result=on_result, stop=stop,
-            metrics=metrics, tracer=tracer,
+            metrics=metrics, tracer=tracer, chunk=chunk,
         )
     finally:
         # On RunInterrupted the journal already holds every completed

@@ -15,8 +15,10 @@ and the paper artifacts' reproducibility — actually rest on:
   StatsCollector protocol (add/snapshot/subtract) introduced with the
   warmup-contamination fix, and any function advertising a warmup
   parameter must actually subtract the warmup snapshot;
-* **pool safety** (SPB401-403): everything submitted through
-  ``repro.analysis.runner`` must be statically picklable;
+* **pool safety** (SPB401-404): everything submitted through
+  ``repro.analysis.runner`` must be statically picklable, and
+  shared-memory segments / process pools are constructed only inside
+  the :mod:`repro.runtime` modules that track their lifecycles;
 * **robustness** (SPB501): crash/recovery/fault code must not swallow
   exceptions (``except ...: pass``) or use unseeded randomness —
   campaign failures must stay loud and reproducers replayable;

@@ -1,11 +1,12 @@
-"""Pool-safety lint (SPB401-SPB403).
+"""Pool-safety lint (SPB401-SPB404).
 
 The parallel runner (:mod:`repro.analysis.runner`) rebuilds every job in
 a worker process from its pickled :class:`~repro.analysis.runner.SimJob`
 description; a payload that only *appears* picklable fails at submit
 time — or worse, pickles by reference and silently captures state the
 worker does not share.  These rules keep job construction statically
-picklable:
+picklable, and keep process/shared-memory lifecycles inside the one
+module that owns each of them:
 
 ========  ==========================================================
 SPB401    a lambda in a SimJob/SimSpec construction or submitted to a
@@ -15,6 +16,12 @@ SPB402    a locally-defined (nested) function passed by reference into
           qualified name, which nested functions do not have)
 SPB403    an unpicklable payload in a job construction: an open file
           handle or a live generator expression
+SPB404    a ``SharedMemory(create=True)`` outside
+          :mod:`repro.runtime.shm` (or inside it without paired
+          ``close()``/``unlink()`` cleanup on every exit path), or a
+          raw ``ProcessPoolExecutor``/``Pool`` construction outside
+          :mod:`repro.runtime.pool` — both leak OS resources the
+          runtime plane exists to track
 ========  ==========================================================
 """
 
@@ -176,3 +183,116 @@ class UnpicklablePayloadRule(Rule):
                             "(...): generators do not pickle; materialize "
                             "a list/tuple first",
                         )
+
+
+_SHM_OWNER_MODULE = "repro.runtime.shm"
+_POOL_OWNER_MODULE = "repro.runtime.pool"
+_RAW_POOL_CONSTRUCTORS = {"ProcessPoolExecutor", "Pool"}
+
+
+def _is_shm_create(node: ast.Call) -> bool:
+    """A ``SharedMemory(...)`` call that *creates* a named segment.
+
+    Attaching to an existing segment (no ``create`` argument, or
+    ``create=False``) owns nothing and is not flagged.  ``create`` is
+    the second positional parameter of
+    ``SharedMemory(name, create, size)``.
+    """
+    if _call_name(node) != "SharedMemory":
+        return False
+    for keyword in node.keywords:
+        if keyword.arg == "create":
+            return bool(
+                isinstance(keyword.value, ast.Constant)
+                and keyword.value.value is True
+            )
+    if len(node.args) >= 2:
+        flag = node.args[1]
+        return bool(isinstance(flag, ast.Constant) and flag.value is True)
+    return False
+
+
+def _enclosing_scope(tree: ast.Module, call: ast.Call) -> ast.AST:
+    """The innermost function containing ``call``, or the module itself."""
+    innermost: ast.AST = tree
+    innermost_size = sum(1 for _ in ast.walk(tree))
+    for func in ast.walk(tree):
+        if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        nodes = list(ast.walk(func))
+        if call in nodes and len(nodes) < innermost_size:
+            innermost, innermost_size = func, len(nodes)
+    return innermost
+
+
+def _has_paired_cleanup(scope: ast.AST) -> bool:
+    """Whether ``scope`` has a try whose recovery closes *and* unlinks.
+
+    The owner-side discipline (:mod:`repro.runtime.shm`): a created
+    segment is either registered for exit-time cleanup or torn down in
+    an ``except``/``finally`` arm referencing both ``.close`` and
+    ``.unlink`` — anything less leaves a named ``/dev/shm`` file behind
+    on the error path.
+    """
+    for node in ast.walk(scope):
+        if not isinstance(node, ast.Try):
+            continue
+        recovery = list(node.finalbody)
+        for handler in node.handlers:
+            recovery.extend(handler.body)
+        attrs = {
+            inner.attr
+            for stmt in recovery
+            for inner in ast.walk(stmt)
+            if isinstance(inner, ast.Attribute)
+        }
+        if {"close", "unlink"} <= attrs:
+            return True
+    return False
+
+
+@register_rule
+class ResourceLifecycleRule(Rule):
+    code = "SPB404"
+    summary = (
+        "SharedMemory segment created outside repro.runtime.shm (or "
+        "without paired close()/unlink() cleanup), or a raw process "
+        "pool constructed outside repro.runtime.pool"
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _call_name(node)
+            if name in _RAW_POOL_CONSTRUCTORS:
+                if ctx.module != _POOL_OWNER_MODULE:
+                    yield ctx.finding(
+                        self,
+                        node,
+                        f"raw {name}(...) outside repro.runtime.pool: "
+                        "construct pools through WorkerPool / "
+                        "get_shared_pool / ephemeral_pool so sweeps share "
+                        "the warm pool and its health accounting",
+                    )
+            elif _is_shm_create(node):
+                if ctx.module != _SHM_OWNER_MODULE:
+                    yield ctx.finding(
+                        self,
+                        node,
+                        "SharedMemory(create=True) outside "
+                        "repro.runtime.shm: publish segments through the "
+                        "shared trace registry so they are tracked and "
+                        "unlinked at exit",
+                    )
+                elif not _has_paired_cleanup(
+                    _enclosing_scope(ctx.tree, node)
+                ):
+                    yield ctx.finding(
+                        self,
+                        node,
+                        "SharedMemory(create=True) without a try whose "
+                        "except/finally arm references both .close and "
+                        ".unlink: the error path leaks a named /dev/shm "
+                        "segment",
+                    )

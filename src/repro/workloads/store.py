@@ -12,7 +12,13 @@ Traces are immutable once built (the simulators only read them), so
 handing the *same object* to every caller is safe and the cache-hit path
 is free.  Worker processes of the parallel runner
 (:mod:`repro.analysis.runner`) each hold their own process-local default
-store.
+store; a miss there first tries to **attach** a zero-copy read-only view
+of a segment published by the parent through the shared-memory trace
+plane (:mod:`repro.runtime.shm`) — the default fast path for parallel
+sweeps, disabled with ``SECPB_TRACE_SHM=0`` — before falling back to
+regeneration.  ``built`` counts actual materializations and
+``attach_hits`` counts zero-copy adoptions, so tests can assert a trace
+is built at most once per run across the whole pool.
 
 Integrity: every memoized trace is fingerprinted with a SHA-256 digest
 of its columns (:func:`trace_digest`), and the optional on-disk cache
@@ -76,12 +82,17 @@ class TraceStore:
             built traces (``.npz`` + SHA-256 manifest).  Defaults to the
             ``SECPB_TRACE_CACHE`` environment variable; ``None`` with no
             environment override disables the disk cache.
+        shm_attach: whether a miss may adopt a zero-copy view of a
+            segment announced via :mod:`repro.runtime.shm` before
+            regenerating.  Defaults to the ``SECPB_TRACE_SHM``
+            environment gate (on unless set to ``0``).
     """
 
     def __init__(
         self,
         max_traces: Optional[int] = None,
         cache_dir: Optional[Union[str, Path]] = None,
+        shm_attach: Optional[bool] = None,
     ):
         if max_traces is not None and max_traces <= 0:
             raise ValueError("max_traces must be positive (or None)")
@@ -89,11 +100,14 @@ class TraceStore:
         if cache_dir is None:
             cache_dir = os.environ.get(CACHE_DIR_ENV) or None
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.shm_attach = shm_attach
         self._traces: "OrderedDict[TraceKey, Trace]" = OrderedDict()
         self._checksums: Dict[TraceKey, str] = {}
         self.hits = 0
         self.misses = 0
         self.regenerated = 0
+        self.built = 0
+        self.attach_hits = 0
 
     def __len__(self) -> int:
         return len(self._traces)
@@ -166,13 +180,32 @@ class TraceStore:
         )
         write_artifact(self._cache_path(key), buffer.getvalue())
 
+    def _attach_from_shm(self, key: TraceKey) -> Optional[Tuple[Trace, str]]:
+        """A digest-verified zero-copy attach, or None (plane cold/off).
+
+        The attach path is the default for pool workers: the parent
+        publishes each materialized trace once and every worker adopts
+        read-only views instead of rebuilding.  The import is lazy so a
+        process that never runs parallel sweeps never touches the plane.
+        """
+        if self.shm_attach is False:
+            return None
+        from ..runtime.shm import attach_trace
+
+        # attach_trace applies the SECPB_TRACE_SHM env gate itself, so
+        # the environment remains a global kill switch even for stores
+        # constructed with shm_attach=True.
+        return attach_trace(key)
+
     def get(self, benchmark: str, num_ops: int, seed: int = 1) -> Trace:
         """The memoized trace for (benchmark, num_ops, seed).
 
         A hit returns the identical :class:`Trace` object previously
-        built; a miss first tries the verified disk cache (when enabled),
-        then materializes the profile via
-        :func:`repro.workloads.spec.build_trace` and caches it.
+        built; a miss attaches a published shared-memory segment when
+        one is announced (zero-copy, digest-verified), then tries the
+        verified disk cache (when enabled), then materializes the
+        profile via :func:`repro.workloads.spec.build_trace` and caches
+        it.
         """
         key = (benchmark, int(num_ops), int(seed))
         trace = self._traces.get(key)
@@ -181,17 +214,29 @@ class TraceStore:
             self._traces.move_to_end(key)
             return trace
         self.misses += 1
+        attached = self._attach_from_shm(key)
+        if attached is not None:
+            trace, digest = attached
+            self.attach_hits += 1
+            self._traces[key] = trace
+            self._checksums[key] = digest
+            self._evict_over_bound()
+            return trace
         trace = self._load_from_disk(key) if self.cache_dir is not None else None
         if trace is None:
             trace = build_trace(benchmark, num_ops, seed)
+            self.built += 1
             if self.cache_dir is not None:
                 self._save_to_disk(key, trace)
         self._traces[key] = trace
         self._checksums[key] = trace_digest(trace)
+        self._evict_over_bound()
+        return trace
+
+    def _evict_over_bound(self) -> None:
         if self.max_traces is not None and len(self._traces) > self.max_traces:
             evicted, _ = self._traces.popitem(last=False)
             self._checksums.pop(evicted, None)
-        return trace
 
     def clear(self) -> None:
         """Drop every cached trace and reset the hit/miss counters."""
@@ -200,6 +245,8 @@ class TraceStore:
         self.hits = 0
         self.misses = 0
         self.regenerated = 0
+        self.built = 0
+        self.attach_hits = 0
 
 
 DEFAULT_STORE = TraceStore()
@@ -209,3 +256,15 @@ DEFAULT_STORE = TraceStore()
 def get_trace(benchmark: str, num_ops: int, seed: int = 1) -> Trace:
     """Fetch (building at most once) a trace from the default store."""
     return DEFAULT_STORE.get(benchmark, num_ops, seed)
+
+
+def store_counters() -> Tuple[int, int]:
+    """``(built, attach_hits)`` of the default store.
+
+    Pool workers snapshot this around each batch; the runner aggregates
+    the deltas into the ``runner.worker_traces_built`` /
+    ``runner.worker_trace_attaches`` observability counters, which is
+    how the regression tests prove a trace is materialized at most once
+    per run with the shared-memory plane on.
+    """
+    return DEFAULT_STORE.built, DEFAULT_STORE.attach_hits

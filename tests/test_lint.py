@@ -449,6 +449,111 @@ def test_spb403_generator_in_job():
     assert codes(findings) == ["SPB403"]
 
 
+# --- SPB404: resource lifecycle ownership ---------------------------------
+
+
+def lint_as(module: str, source: str, **kwargs):
+    """Lint a snippet as if it lived in ``module``."""
+    return lint_source(
+        textwrap.dedent(source), "fixture.py", module=module, **kwargs
+    )
+
+
+def test_spb404_shared_memory_create_outside_plane():
+    findings = lint_as(
+        "repro.analysis.fixture",
+        """
+        def stage(trace):
+            return SharedMemory(create=True, size=trace.nbytes)
+        """,
+    )
+    assert codes(findings) == ["SPB404"]
+
+
+def test_spb404_shared_memory_attach_is_clean():
+    # Attaching to an existing segment owns nothing; only creation is
+    # restricted to the runtime plane.
+    findings = lint_as(
+        "repro.analysis.fixture",
+        """
+        def adopt(name):
+            return SharedMemory(name=name)
+        """,
+    )
+    assert findings == []
+
+
+def test_spb404_create_in_plane_with_paired_cleanup_is_clean():
+    findings = lint_as(
+        "repro.runtime.shm",
+        """
+        def publish(size):
+            segment = SharedMemory(create=True, size=size)
+            try:
+                fill(segment)
+            except BaseException:
+                segment.close()
+                segment.unlink()
+                raise
+            return segment
+        """,
+    )
+    assert findings == []
+
+
+def test_spb404_create_in_plane_without_unlink_fires():
+    # close() alone still leaves the named /dev/shm file behind.
+    findings = lint_as(
+        "repro.runtime.shm",
+        """
+        def publish(size):
+            segment = SharedMemory(create=True, size=size)
+            try:
+                fill(segment)
+            finally:
+                segment.close()
+            return segment
+        """,
+    )
+    assert codes(findings) == ["SPB404"]
+
+
+def test_spb404_raw_pool_outside_runtime():
+    findings = lint_as(
+        "repro.analysis.fixture",
+        """
+        def sweep(workers):
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                return pool
+        """,
+    )
+    assert codes(findings) == ["SPB404"]
+
+
+def test_spb404_multiprocessing_pool_attribute_fires():
+    findings = lint_as(
+        "repro.fault.fixture",
+        """
+        import multiprocessing
+
+        def sweep(workers):
+            return multiprocessing.Pool(workers)
+        """,
+    )
+    assert codes(findings) == ["SPB404"]
+
+
+def test_spb404_pool_construction_inside_runtime_is_clean():
+    findings = lint_as(
+        "repro.runtime.pool",
+        """
+        def start(workers):
+            return ProcessPoolExecutor(max_workers=workers)
+        """,
+    )
+    assert findings == []
+
+
 # --- SPB501: crash/recovery/fault robustness -------------------------------
 
 FAULT_MODULE = "repro.fault.campaign"

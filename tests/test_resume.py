@@ -11,10 +11,14 @@ Acceptance anchors (ISSUE 5):
 * SIGKILL partway through a ``--jobs`` campaign leaves a journal that
   is a valid prefix — resuming from it reproduces the baseline report
   byte-for-byte (subprocess test at the bottom);
-* stale journals (different spec fingerprint) are rejected loudly.
+* stale journals (different spec fingerprint) are rejected loudly;
+* (ISSUE 8) SIGTERM mid-``--jobs`` experiment exits resumable with zero
+  leaked ``/dev/shm`` trace segments, and ``--resume`` renders an
+  artifact byte-identical to the uninterrupted run.
 """
 
 import dataclasses
+import glob
 import json
 import os
 import signal
@@ -282,6 +286,11 @@ def _env():
     return env
 
 
+def _shm_segments(pid):
+    """Trace segments owned by ``pid`` still present in /dev/shm."""
+    return glob.glob(f"/dev/shm/secpb_shm_{pid}_*")
+
+
 class TestKillMidRun:
     """The satellite: SIGKILL a --jobs campaign, resume, compare bytes."""
 
@@ -334,6 +343,66 @@ class TestKillMidRun:
         # Both reports carry verifiable sidecar manifests.
         assert verify_artifact(baseline) is ArtifactStatus.OK
         assert verify_artifact(resumed) is ArtifactStatus.OK
+
+    def test_sigterm_experiment_no_shm_leak_resume_byte_identical(
+        self, tmp_path
+    ):
+        """ISSUE 8: SIGTERM mid-sweep leaves zero /dev/shm segments and
+        a journal whose resume renders the identical artifact."""
+        if not os.path.isdir("/dev/shm"):
+            pytest.skip("requires /dev/shm")
+        experiment = [sys.executable, "-m", "repro", "experiment", "table4"]
+        args = ["--num-ops", "1500", "--jobs", "2"]
+
+        baseline = tmp_path / "baseline.json"
+        clean = subprocess.Popen(
+            experiment + args + ["--save", str(baseline)],
+            env=_env(), stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        assert clean.wait(timeout=300) == 0
+        # Normal exit: the atexit owner cleanup ran.
+        assert _shm_segments(clean.pid) == []
+
+        journal_path = tmp_path / "experiment.jsonl"
+        proc = subprocess.Popen(
+            experiment + args + ["--journal", str(journal_path)],
+            env=_env(), stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        try:
+            deadline = time.monotonic() + 120
+            while time.monotonic() < deadline:
+                try:
+                    if len(journal_path.read_bytes().splitlines()) >= 3:
+                        break
+                except OSError:
+                    pass
+                if proc.poll() is not None:
+                    break
+                time.sleep(0.01)
+            if proc.poll() is None:
+                proc.send_signal(signal.SIGTERM)
+        finally:
+            returncode = proc.wait(timeout=300)
+        if returncode == 0:
+            pytest.skip("sweep finished before the signal landed")
+        assert returncode == EXIT_RESUMABLE
+        # The graceful-shutdown checkpoint path also unlinked every
+        # published trace segment the child owned.
+        assert _shm_segments(proc.pid) == []
+
+        resumed = tmp_path / "resumed.json"
+        done = subprocess.Popen(
+            experiment + args + [
+                "--resume", str(journal_path), "--save", str(resumed),
+            ],
+            env=_env(), stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        assert done.wait(timeout=300) == 0
+        assert _shm_segments(done.pid) == []
+        assert resumed.read_bytes() == baseline.read_bytes()
 
     def test_deadline_exit_code_then_resume(self, tmp_path):
         journal_path = tmp_path / "campaign.jsonl"

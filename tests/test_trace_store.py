@@ -204,3 +204,78 @@ class TestDiskCache:
 
         monkeypatch.delenv(CACHE_DIR_ENV, raising=False)
         assert TraceStore().cache_dir is None
+
+
+class TestShmAttachIntegration:
+    """The store's zero-copy attach path (repro.runtime.shm)."""
+
+    KEY = ("hmmer", 288, 53)
+
+    @pytest.fixture(autouse=True)
+    def _plane(self, monkeypatch):
+        from repro.runtime.shm import reset_attachments
+
+        monkeypatch.setenv("SECPB_TRACE_SHM", "1")
+        reset_attachments()
+        yield
+        reset_attachments()
+
+    def _announce_one(self):
+        from repro.runtime.shm import SharedTraceRegistry, announce
+        from repro.workloads.store import trace_digest
+
+        registry = SharedTraceRegistry()
+        trace = build_trace(*self.KEY)
+        info = registry.publish(self.KEY, trace, trace_digest(trace))
+        announce([info])
+        return registry, trace
+
+    def test_attach_counters_start_at_zero(self):
+        store = TraceStore()
+        assert store.built == 0
+        assert store.attach_hits == 0
+
+    def test_miss_adopts_announced_segment(self):
+        registry, original = self._announce_one()
+        try:
+            store = TraceStore()
+            trace = store.get(*self.KEY)
+            assert store.attach_hits == 1
+            assert store.built == 0
+            assert np.array_equal(trace.block_addr, original.block_addr)
+            # Adopted traces carry the published digest: verify() holds.
+            assert store.verify(*self.KEY)
+            # And the next lookup is a plain memo hit.
+            assert store.get(*self.KEY) is trace
+            assert store.attach_hits == 1
+        finally:
+            registry.cleanup()
+
+    def test_shm_attach_false_ignores_announcements(self):
+        registry, _ = self._announce_one()
+        try:
+            store = TraceStore(shm_attach=False)
+            store.get(*self.KEY)
+            assert store.built == 1
+            assert store.attach_hits == 0
+        finally:
+            registry.cleanup()
+
+    def test_store_counters_reports_default_store(self):
+        from repro.workloads.store import store_counters
+
+        built, attached = store_counters()
+        assert built == DEFAULT_STORE.built
+        assert attached == DEFAULT_STORE.attach_hits
+
+    def test_clear_resets_attach_counters(self):
+        registry, _ = self._announce_one()
+        try:
+            store = TraceStore()
+            store.get(*self.KEY)
+            assert store.attach_hits == 1
+            store.clear()
+            assert store.attach_hits == 0
+            assert store.built == 0
+        finally:
+            registry.cleanup()

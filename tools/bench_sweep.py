@@ -1,0 +1,206 @@
+#!/usr/bin/env python
+"""Before/after throughput benchmark for the parallel sweep layer.
+
+Measures jobs-per-second of the scheme-sweep workload that dominates the
+paper harness — one :func:`repro.analysis.runner.run_jobs` call per
+scheme over a benchmark × seed grid — in two configurations:
+
+* **before**: the pre-plane execution model (``SECPB_EXEC_PLANE=0``):
+  an ephemeral worker pool is created and torn down per ``run_jobs``
+  call, every job is dispatched as its own pickle round-trip
+  (``chunk=1``), and each freshly-forked worker rebuilds every trace it
+  touches from scratch;
+* **after**: the shared-memory execution plane (the default): one warm
+  persistent pool serves all six sweeps, the parent publishes each
+  distinct trace once as a zero-copy shared-memory segment that workers
+  attach read-only, and dispatch is batched adaptively.
+
+Each mode runs in a fresh child interpreter (the env gates are read at
+module scope) and is repeated ``--repeat`` times, keeping the best run.
+The child also emits a SHA-256 digest over every simulation result;
+the parent asserts all digests — across modes and repeats — are
+identical, so the speedup is measured on provably byte-identical
+output.  Writes ``BENCH_sweep.json`` at the repo root.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_sweep.py --jobs 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import subprocess
+import sys
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO_ROOT, "src")
+if SRC not in sys.path:
+    sys.path.insert(0, SRC)
+
+SCHEMES = ("bcm", "cm", "cobcm", "m", "nogap", "obcm")
+BENCHMARKS = ("gamess", "mcf", "lbm", "omnetpp")
+DEFAULT_SEEDS = 3
+DEFAULT_NUM_OPS = 2000
+DEFAULT_JOBS = 4
+DEFAULT_REPEAT = 3
+
+
+def build_jobs(scheme, benchmarks, seeds, num_ops):
+    """The per-scheme job list: one SimJob per (benchmark, seed)."""
+    from repro.analysis.runner import SimJob, SimSpec
+
+    spec = SimSpec(scheme=scheme)
+    return [
+        SimJob(
+            key=(scheme, benchmark, seed),
+            benchmark=benchmark,
+            num_ops=num_ops,
+            seed=seed,
+            warmup_frac=0.0,
+            spec=spec,
+        )
+        for benchmark in benchmarks
+        for seed in range(1, seeds + 1)
+    ]
+
+
+def results_digest(results):
+    """SHA-256 over a canonical rendering of every simulation result."""
+    digest = hashlib.sha256()
+    for key in sorted(results):
+        result = results[key]
+        record = [
+            list(key),
+            result.scheme,
+            result.benchmark,
+            result.cycles,
+            result.instructions,
+            sorted(result.stats.items()),
+        ]
+        digest.update(json.dumps(record, sort_keys=True).encode("utf-8"))
+    return digest.hexdigest()
+
+
+def run_sweep(workers, num_ops, seeds, chunk):
+    """One full 6-scheme sweep; returns (seconds, digest, job_count)."""
+    from repro.analysis.runner import run_jobs
+
+    merged = {}
+    total = 0
+    start = time.perf_counter()
+    for scheme in SCHEMES:
+        jobs = build_jobs(scheme, BENCHMARKS, seeds, num_ops)
+        total += len(jobs)
+        merged.update(run_jobs(jobs, workers=workers, chunk=chunk))
+    seconds = time.perf_counter() - start
+    return seconds, results_digest(merged), total
+
+
+def child_main(args):
+    seconds, digest, total = run_sweep(
+        args.jobs, args.num_ops, args.seeds, args.chunk
+    )
+    json.dump(
+        {
+            "seconds": round(seconds, 4),
+            "jps": round(total / seconds, 2),
+            "jobs": total,
+            "digest": digest,
+            # Leak tests scan /dev/shm for this (exited) pid's segments.
+            "pid": os.getpid(),
+        },
+        sys.stdout,
+    )
+    sys.stdout.write("\n")
+    return 0
+
+
+def run_child(mode, args):
+    """One timed child run; returns its parsed JSON report."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    command = [
+        sys.executable,
+        os.path.abspath(__file__),
+        "--child",
+        "--jobs", str(args.jobs),
+        "--num-ops", str(args.num_ops),
+        "--seeds", str(args.seeds),
+    ]
+    if mode == "before":
+        env["SECPB_EXEC_PLANE"] = "0"
+        command += ["--chunk", "1"]
+    else:
+        env["SECPB_EXEC_PLANE"] = "1"
+    output = subprocess.run(
+        command, env=env, check=True, capture_output=True, text=True
+    ).stdout
+    return json.loads(output.splitlines()[-1])
+
+
+def measure(mode, args):
+    """Best-of-N child runs for one mode; all digests must agree."""
+    best = None
+    digests = set()
+    for _ in range(args.repeat):
+        report = run_child(mode, args)
+        digests.add(report["digest"])
+        if best is None or report["jps"] > best["jps"]:
+            best = report
+    if len(digests) != 1:
+        raise SystemExit(f"{mode}: non-deterministic results {digests}")
+    return best
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--jobs", type=int, default=DEFAULT_JOBS)
+    parser.add_argument("--num-ops", type=int, default=DEFAULT_NUM_OPS)
+    parser.add_argument("--seeds", type=int, default=DEFAULT_SEEDS)
+    parser.add_argument("--repeat", type=int, default=DEFAULT_REPEAT)
+    parser.add_argument("--chunk", type=int, default=None)
+    parser.add_argument(
+        "--output", default=os.path.join(REPO_ROOT, "BENCH_sweep.json")
+    )
+    parser.add_argument("--child", action="store_true", help=argparse.SUPPRESS)
+    args = parser.parse_args(argv)
+
+    if args.child:
+        return child_main(args)
+
+    before = measure("before", args)
+    after = measure("after", args)
+    if before["digest"] != after["digest"]:
+        raise SystemExit(
+            "before/after result digests differ: "
+            f"{before['digest']} vs {after['digest']}"
+        )
+    report = {
+        "workload": {
+            "schemes": list(SCHEMES),
+            "benchmarks": list(BENCHMARKS),
+            "seeds": args.seeds,
+            "num_ops": args.num_ops,
+            "workers": args.jobs,
+            "jobs": before["jobs"],
+        },
+        "before": {"jps": before["jps"], "seconds": before["seconds"]},
+        "after": {"jps": after["jps"], "seconds": after["seconds"]},
+        "speedup": round(after["jps"] / before["jps"], 2),
+        "digest": after["digest"],
+        "python": ".".join(str(part) for part in sys.version_info[:3]),
+    }
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(json.dumps(report, indent=2, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
