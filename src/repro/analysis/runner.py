@@ -74,6 +74,8 @@ from ..core.controller import TimingCalibration
 from ..core.schemes import SCHEMES
 from ..core.simulator import SecurePersistencySimulator
 from ..durability.interrupt import RunInterrupted, StopToken
+from ..envfault import context as _envfault
+from ..envfault import procfault as _procfault
 from ..obs.metrics import MetricsRegistry
 from ..obs.tracing import LANE_STORES, Tracer
 from ..runtime.pool import (
@@ -83,7 +85,12 @@ from ..runtime.pool import (
     get_shared_pool,
     plane_enabled,
 )
-from ..runtime.shm import TraceAttachSetup, shared_registry, shm_enabled
+from ..runtime.shm import (
+    TraceAttachSetup,
+    attach_retries,
+    shared_registry,
+    shm_enabled,
+)
 from ..security.bmf import ForestTimingModel
 from ..sim.config import SystemConfig
 from ..sim.stats import SimulationResult
@@ -252,10 +259,25 @@ def _record(
     value: Any,
     on_result: Optional[Callable[[JobKey, Any], None]],
 ) -> None:
-    """Store one fresh result and fire the checkpoint hook (journal)."""
+    """Store one fresh result and fire the checkpoint hook (journal).
+
+    An ``OSError`` out of the hook (ENOSPC or EIO on the journal append)
+    means results can no longer be made durable — continuing would burn
+    work that a crash then loses.  It converts to
+    :class:`RunInterrupted` carrying everything recorded so far, so the
+    caller checkpoints what *is* journaled and exits resumable (75)
+    instead of crashing with a raw traceback.
+    """
     results[key] = value
     if on_result is not None:
-        on_result(key, value)
+        try:
+            on_result(key, value)
+        except OSError as exc:
+            raise RunInterrupted(
+                f"checkpoint append failed ({type(exc).__name__}: {exc}); "
+                f"free space and resume",
+                results,
+            ) from exc
 
 
 class _RunnerObs:
@@ -352,7 +374,9 @@ class _RunnerObs:
                 deterministic=False,
             ).inc(count)
 
-    def worker_store_stats(self, built: int, attached: int) -> None:
+    def worker_store_stats(
+        self, built: int, attached: int, shm_retries: int = 0
+    ) -> None:
         if self._metrics is not None:
             self._metrics.counter(
                 "runner.worker_traces_built",
@@ -364,6 +388,11 @@ class _RunnerObs:
                 "Zero-copy shared-memory trace attaches inside pool workers",
                 deterministic=False,
             ).inc(attached)
+            self._metrics.counter(
+                "runner.shm_attach_retries",
+                "Transient shm attach ENOENT races retried inside workers",
+                deterministic=False,
+            ).inc(shm_retries)
 
 
 
@@ -471,7 +500,7 @@ def _run_batch(
     fn: Callable[[Any], Any],
     tasks: Sequence[Any],
     setup: Optional[Callable[[], None]],
-) -> Tuple[List[_BatchOutcome], int, int]:
+) -> Tuple[List[_BatchOutcome], int, int, int]:
     """Worker-side: run one batch of tasks sequentially, one IPC round-trip.
 
     ``setup`` (when present) re-announces the owner's shared-memory
@@ -479,7 +508,14 @@ def _run_batch(
     published after they were forked; a setup failure only disables the
     zero-copy path (tasks fall back to local regeneration).  Returns the
     per-task outcomes in task order plus the batch's trace-store deltas
-    ``(built, attach_hits)`` for the runner's observability counters.
+    ``(built, attach_hits, shm_retries)`` for the runner's observability
+    counters.
+
+    When the fault plane is armed (:mod:`repro.envfault`), each task
+    boundary is a ``worker.task`` injection site — a due
+    ``worker_sigkill`` takes the whole process down mid-batch, exactly
+    like the OOM killer, and the parent must absorb the resulting
+    :class:`BrokenProcessPool`.
     """
     if setup is not None:
         try:
@@ -487,8 +523,11 @@ def _run_batch(
         except Exception:
             logger.exception("batch setup failed; traces rebuilt locally")
     built_before, attached_before = store_counters()
+    retries_before = attach_retries()
     outcomes: List[_BatchOutcome] = []
     for task in tasks:
+        if _envfault.CURRENT is not None:
+            _procfault.maybe_kill_worker("worker.task", _envfault.CURRENT)
         start = time.perf_counter()
         try:
             result = fn(task)
@@ -503,7 +542,12 @@ def _run_batch(
         else:
             outcomes.append((result, time.perf_counter() - start))
     built_after, attached_after = store_counters()
-    return outcomes, built_after - built_before, attached_after - attached_before
+    return (
+        outcomes,
+        built_after - built_before,
+        attached_after - attached_before,
+        attach_retries() - retries_before,
+    )
 
 
 def _chunk_size(
@@ -554,7 +598,9 @@ def _salvage_in_flight(
     for batch, future in in_flight:
         grace = max(0.0, deadline - time.monotonic())
         try:
-            outcomes, _built, _attached = future.result(timeout=grace)
+            outcomes, _built, _attached, _retries = future.result(
+                timeout=grace
+            )
         except FutureTimeoutError:
             continue  # still running; abandoned for the resume to redo
         except Exception:
@@ -641,12 +687,20 @@ def _run_tasks_pool(
             index = 0
             for batch_index, (batch, future) in enumerate(futures):
                 try:
+                    if _envfault.CURRENT is not None:
+                        # The harvest is a `runner.harvest` injection
+                        # site: a due `broken_pool` storm raises here,
+                        # inside the try, so it flows through the same
+                        # mark-unhealthy/retry path a real one would.
+                        _procfault.maybe_break_pool(
+                            "runner.harvest", _envfault.CURRENT
+                        )
                     # Harvest in submission order; the per-task timeout
                     # is measured from when the harvest starts waiting on
                     # the future (chunk size is 1 whenever a timeout is
                     # set), so a task never gets *less* than `timeout`
                     # seconds of wall clock.
-                    outcomes, built, attached = _wait_result(
+                    outcomes, built, attached, shm_retries = _wait_result(
                         future, timeout, stop
                     )
                 except _StopRequested:
@@ -725,7 +779,7 @@ def _run_tasks_pool(
                         )
                     continue
                 if obs is not None:
-                    obs.worker_store_stats(built, attached)
+                    obs.worker_store_stats(built, attached, shm_retries)
                 for task, outcome in zip(batch, outcomes):
                     key = task.key
                     attempts[key] += 1

@@ -19,6 +19,10 @@ Commands:
 * ``faultcampaign`` — seeded fault-injection campaign: adversarial
   crashes, battery brownouts, and post-crash tamper across every scheme,
   with failing-case minimization to replayable JSON reproducers.
+* ``chaos`` — turn the fault plane on the harness itself: a systematic
+  crash-consistency sweep (every torn journal prefix, every artifact
+  fault) or a seeded random OS-fault soak, grading the crash-safety
+  invariants and shrinking violations to replayable reproducers.
 * ``trace`` — run one simulation with structured event tracing and write
   a Chrome-trace/Perfetto-loadable timeline keyed by simulated cycles.
 * ``list`` — available benchmarks, schemes and experiments.
@@ -447,6 +451,70 @@ def _cmd_faultcampaign(args: argparse.Namespace) -> int:
     return 0 if report.all_passed else 1
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    # Lazy: the checker pulls in the campaign and analysis stacks, and
+    # `repro.envfault.__init__` deliberately does not re-export it.
+    from .envfault import ALL_KINDS, PlanError
+    from .envfault.check import (
+        replay_reproducer,
+        soak_check,
+        systematic_check,
+    )
+
+    kinds = None
+    if args.faults != "all":
+        kinds = tuple(k.strip() for k in args.faults.split(",") if k.strip())
+        unknown = [kind for kind in kinds if kind not in ALL_KINDS]
+        if unknown:
+            print(
+                f"error: unknown fault kind(s) {', '.join(unknown)} "
+                f"(known: {', '.join(ALL_KINDS)})",
+                file=sys.stderr,
+            )
+            return 2
+    workdir = args.workdir
+    scratch = None
+    if workdir is None:
+        import tempfile
+
+        scratch = tempfile.mkdtemp(prefix="secpb_chaos_")
+        workdir = scratch
+    if args.replay:
+        from .durability import ArtifactError
+
+        try:
+            report = replay_reproducer(args.replay, workdir, jobs=args.jobs)
+        except (OSError, ValueError, PlanError, KeyError, ArtifactError) as exc:
+            print(f"error: unusable reproducer: {exc}", file=sys.stderr)
+            return 2
+    elif args.systematic:
+        report = systematic_check(workdir, jobs=args.jobs)
+    else:
+        report = soak_check(
+            workdir,
+            seed=args.seed,
+            ops=args.ops,
+            minutes=args.minutes,
+            kinds=kinds,
+            jobs=args.jobs,
+            max_iterations=args.max_iterations,
+            reproducer_dir=args.repro_dir,
+        )
+    if scratch is not None and not any(
+        str(path).startswith(scratch) for path in report.reproducers
+    ):
+        # Crash states are disposable; a temp workdir survives only when
+        # a soak just saved a reproducer into it.
+        import shutil
+
+        shutil.rmtree(scratch, ignore_errors=True)
+    print(report.render())
+    if args.save:
+        write_artifact(args.save, report.to_json())
+        print(f"report saved to {args.save}", file=sys.stderr)
+    return 0 if report.ok else 1
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from .core.simulator import SecurePersistencySimulator
     from .obs import load_trace_schema, record_simulation, validate_or_raise
@@ -773,6 +841,69 @@ def build_parser() -> argparse.ArgumentParser:
         "ignored with --replay",
     )
     faultcampaign.set_defaults(func=_cmd_faultcampaign)
+
+    chaos = sub.add_parser(
+        "chaos",
+        parents=[common],
+        help="chaos-test the harness itself: inject OS faults (ENOSPC, "
+        "torn writes, worker kills) and check crash-consistency invariants",
+    )
+    chaos.add_argument(
+        "--systematic",
+        action="store_true",
+        help="enumerate every torn journal prefix and partially-applied "
+        "artifact write instead of the randomized soak",
+    )
+    chaos.add_argument("--seed", type=int, default=2023)
+    chaos.add_argument(
+        "--ops",
+        type=int,
+        default=3,
+        help="faults per soak iteration (default: %(default)s)",
+    )
+    chaos.add_argument(
+        "--minutes",
+        type=float,
+        default=0.5,
+        help="soak wall-clock budget in minutes (default: %(default)s)",
+    )
+    chaos.add_argument(
+        "--faults",
+        default="all",
+        help="comma-separated fault kinds to soak with (default: all)",
+    )
+    chaos.add_argument(
+        "--jobs", type=int, default=2, help="worker processes for armed runs"
+    )
+    chaos.add_argument(
+        "--max-iterations",
+        type=int,
+        metavar="N",
+        default=None,
+        help="stop the soak after N iterations even if time remains",
+    )
+    chaos.add_argument(
+        "--workdir",
+        metavar="DIR",
+        default=None,
+        help="directory for crash states (default: a temp dir)",
+    )
+    chaos.add_argument(
+        "--repro-dir",
+        metavar="DIR",
+        default=None,
+        help="save shrunk chaos reproducers for violations here",
+    )
+    chaos.add_argument(
+        "--replay",
+        metavar="FILE",
+        default=None,
+        help="replay one saved chaos reproducer instead of soaking",
+    )
+    chaos.add_argument(
+        "--save", metavar="PATH", default=None, help="write the JSON report"
+    )
+    chaos.set_defaults(func=_cmd_chaos)
 
     trace_cmd = sub.add_parser(
         "trace",

@@ -18,9 +18,11 @@ loss mid-campaign loses at most the jobs that were in flight:
 * :mod:`~repro.durability.resume` — the journal-open/validate/partition
   glue shared by the fault campaign and the experiment runner.
 
-Layering: this package imports nothing from the rest of ``repro`` — the
-runner (:mod:`repro.analysis.runner`), the fault campaign
-(:mod:`repro.fault.campaign`), the trace store
+Layering: this package imports nothing from the rest of ``repro``
+except the stdlib-only fault-injection leaves
+(:mod:`repro.envfault.context` / :mod:`repro.envfault.fsfault`, the
+opt-in OS-fault shims) — the runner (:mod:`repro.analysis.runner`), the
+fault campaign (:mod:`repro.fault.campaign`), the trace store
 (:mod:`repro.workloads.store`), and the CLI all build on it.
 """
 

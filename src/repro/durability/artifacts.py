@@ -20,10 +20,16 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 from enum import Enum
 from pathlib import Path
-from typing import Dict, Union
+from typing import Dict, Optional, Union
+
+from ..envfault import context as _envfault
+from ..envfault import fsfault as _fsfault
+
+logger = logging.getLogger(__name__)
 
 MANIFEST_SUFFIX = ".sha256"
 """Sidecar manifest suffix: ``report.json`` -> ``report.json.sha256``."""
@@ -52,19 +58,33 @@ class ArtifactError(Exception):
         self.status = status
 
 
-def _fsync_dir(directory: Path) -> None:
+def _fsync_dir(
+    directory: Path,
+    envfault: Optional[_envfault.EnvFaultContext] = None,
+) -> None:
     """Make a completed rename in ``directory`` durable (POSIX fsync)."""
     try:
         fd = os.open(str(directory), os.O_RDONLY)
-    except OSError:
-        return  # e.g. platforms that cannot open directories
+    except OSError as exc:
+        # e.g. platforms that cannot open directories — degraded but
+        # not wrong (the rename itself already happened), so log, don't
+        # fail the write.
+        logger.debug("cannot fsync directory %s: %s", directory, exc)
+        return
     try:
-        os.fsync(fd)
+        if envfault is not None:
+            _fsfault.fsync(fd, "artifact.dir_fsync", envfault)
+        else:
+            os.fsync(fd)
     finally:
         os.close(fd)
 
 
-def atomic_write_bytes(path: Union[str, Path], data: bytes) -> Path:
+def atomic_write_bytes(
+    path: Union[str, Path],
+    data: bytes,
+    envfault: Optional[_envfault.EnvFaultContext] = None,
+) -> Path:
     """Write ``data`` to ``path`` atomically (temp → fsync → rename).
 
     A reader never observes a partial file: either the old content (or
@@ -73,27 +93,44 @@ def atomic_write_bytes(path: Union[str, Path], data: bytes) -> Path:
     filesystems.
     """
     path = Path(path)
+    context = _envfault.current(envfault)
     tmp = path.parent / f".{path.name}.tmp.{os.getpid()}"
     fd = os.open(str(tmp), os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
     try:
         with os.fdopen(fd, "wb") as handle:
-            handle.write(data)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(str(tmp), str(path))
+            if context is not None:
+                _fsfault.write(handle, data, "artifact.write", context)
+                handle.flush()
+                _fsfault.fsync(
+                    handle.fileno(), "artifact.fsync", context
+                )
+            else:
+                handle.write(data)
+                handle.flush()
+                os.fsync(handle.fileno())
+        if context is not None:
+            _fsfault.replace(str(tmp), str(path), "artifact.rename", context)
+        else:
+            os.replace(str(tmp), str(path))
     except BaseException:
         try:
             os.unlink(str(tmp))
-        except OSError:
-            pass  # best-effort cleanup; the original error is what matters
+        except OSError as exc:
+            # Best-effort cleanup; the original error is what matters,
+            # but a lingering temp file is worth a trace in the log.
+            logger.debug("cannot remove temp file %s: %s", tmp, exc)
         raise
-    _fsync_dir(path.parent)
+    _fsync_dir(path.parent, envfault=context)
     return path
 
 
-def atomic_write_text(path: Union[str, Path], text: str) -> Path:
+def atomic_write_text(
+    path: Union[str, Path],
+    text: str,
+    envfault: Optional[_envfault.EnvFaultContext] = None,
+) -> Path:
     """Atomic UTF-8 text write (see :func:`atomic_write_bytes`)."""
-    return atomic_write_bytes(path, text.encode("utf-8"))
+    return atomic_write_bytes(path, text.encode("utf-8"), envfault=envfault)
 
 
 def manifest_path(path: Union[str, Path]) -> Path:
@@ -112,7 +149,11 @@ def content_digest(data: bytes) -> str:
 _digest = content_digest
 
 
-def write_artifact(path: Union[str, Path], data: Union[str, bytes]) -> Path:
+def write_artifact(
+    path: Union[str, Path],
+    data: Union[str, bytes],
+    envfault: Optional[_envfault.EnvFaultContext] = None,
+) -> Path:
     """Atomically write an artifact plus its SHA-256 sidecar manifest.
 
     The artifact lands first, the manifest second (both atomic): a crash
@@ -123,7 +164,7 @@ def write_artifact(path: Union[str, Path], data: Union[str, bytes]) -> Path:
     if isinstance(data, str):
         data = data.encode("utf-8")
     path = Path(path)
-    atomic_write_bytes(path, data)
+    atomic_write_bytes(path, data, envfault=envfault)
     manifest: Dict[str, object] = {
         "algorithm": "sha256",
         "digest": _digest(data),
@@ -131,7 +172,9 @@ def write_artifact(path: Union[str, Path], data: Union[str, bytes]) -> Path:
         "size": len(data),
     }
     atomic_write_text(
-        manifest_path(path), json.dumps(manifest, sort_keys=True) + "\n"
+        manifest_path(path),
+        json.dumps(manifest, sort_keys=True) + "\n",
+        envfault=envfault,
     )
     return path
 

@@ -131,8 +131,12 @@ def graceful_shutdown(token: StopToken) -> Iterator[StopToken]:
     for sig in (signal.SIGINT, signal.SIGTERM):
         try:
             previous[sig] = signal.signal(sig, _handler)
-        except (ValueError, OSError):
-            pass  # non-main thread or unsupported platform: poll-only
+        except (ValueError, OSError) as exc:
+            # Non-main thread or unsupported platform: poll-only mode.
+            logger.debug(
+                "cannot install %s handler (%s); relying on polling",
+                signal.Signals(sig).name, exc,
+            )
     try:
         yield token
     finally:

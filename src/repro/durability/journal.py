@@ -27,6 +27,9 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, IO, List, Optional, Union
 
+from ..envfault import context as _envfault
+from ..envfault import fsfault as _fsfault
+
 JOURNAL_VERSION = 1
 """Journal file-format version (bump on incompatible layout changes)."""
 
@@ -36,7 +39,13 @@ class JournalError(Exception):
 
 
 class StaleJournalError(JournalError):
-    """The journal's spec fingerprint does not match the current spec."""
+    """The journal cannot be trusted as a resume base.
+
+    Raised when the header's spec fingerprint does not match the
+    current spec, or when a record *before the last one* is torn or
+    corrupt: later appends wrote past the damage, so truncating at the
+    tear would silently drop completed records that the file once held.
+    """
 
 
 def _canonical(payload: Any) -> str:
@@ -80,10 +89,18 @@ class Journal:
 def read_journal(path: Union[str, Path]) -> Journal:
     """Parse a journal file, tolerating only a torn *trailing* line.
 
+    Only the final, newline-less line may be torn (the crash tail).  A
+    blank or corrupt line that is *followed by* further records means
+    the file kept growing past the damage — mid-file corruption, not a
+    crash tail — and truncating there would silently lose the records
+    after it, so that raises :class:`StaleJournalError` instead.
+
     Raises:
         JournalError: on a missing/empty file, a bad header, an unknown
-            journal version, a header whose fingerprint does not match
-            its own spec, or a corrupt line anywhere but the tail.
+            journal version, or a header whose fingerprint does not
+            match its own spec.
+        StaleJournalError: on a blank or corrupt line anywhere but the
+            tail (mid-file corruption).
     """
     path = Path(path)
     if not path.is_file():
@@ -125,14 +142,35 @@ def read_journal(path: Union[str, Path]) -> Journal:
         spec=spec,
         dropped_tail=dropped_tail,
     )
-    for lineno, line in enumerate(lines[1:], start=2):
+    body = lines[1:]
+    last_real = -1
+    for idx, line in enumerate(body):
+        if line.strip():
+            last_real = idx
+    for idx, line in enumerate(body):
+        lineno = idx + 2
         if not line.strip():
+            # Trailing blank lines are a tolerable tail; a blank line
+            # with records *after* it means later appends wrote past a
+            # tear — truncating there would drop those records.
+            if idx < last_real:
+                raise StaleJournalError(
+                    f"journal {path}: blank line {lineno} is followed by "
+                    f"later records — mid-file corruption, not a crash "
+                    f"tail; refusing to resume from this journal"
+                )
             continue
         try:
             entry = json.loads(line)
             key = entry["key"]
             payload = entry["payload"]
         except (ValueError, KeyError, TypeError) as exc:
+            if idx < last_real:
+                raise StaleJournalError(
+                    f"journal {path}: corrupt entry at line {lineno} is "
+                    f"followed by later records — mid-file corruption, "
+                    f"not a crash tail: {exc}"
+                ) from exc
             raise JournalError(
                 f"journal {path}: corrupt entry at line {lineno}: {exc}"
             ) from exc
@@ -148,20 +186,30 @@ class JournalWriter:
     validated.  Works as a context manager; :meth:`close` is idempotent.
     """
 
-    def __init__(self, path: Path, handle: IO[str]):
+    def __init__(
+        self,
+        path: Path,
+        handle: IO[str],
+        envfault: Optional[_envfault.EnvFaultContext] = None,
+    ):
         self.path = path
         self._handle: Optional[IO[str]] = handle
+        self._envfault = envfault
 
     @classmethod
     def create(
-        cls, path: Union[str, Path], kind: str, spec: Dict[str, Any]
+        cls,
+        path: Union[str, Path],
+        kind: str,
+        spec: Dict[str, Any],
+        envfault: Optional[_envfault.EnvFaultContext] = None,
     ) -> "JournalWriter":
         """Start a new journal for ``spec``, truncating any existing file."""
         path = Path(path)
         if path.parent and not path.parent.is_dir():
             os.makedirs(str(path.parent), exist_ok=True)
         handle = open(str(path), "w", encoding="utf-8")
-        writer = cls(path, handle)
+        writer = cls(path, handle, envfault=envfault)
         writer._write_line(
             _canonical(
                 {
@@ -175,7 +223,11 @@ class JournalWriter:
         return writer
 
     @classmethod
-    def append_to(cls, path: Union[str, Path]) -> "JournalWriter":
+    def append_to(
+        cls,
+        path: Union[str, Path],
+        envfault: Optional[_envfault.EnvFaultContext] = None,
+    ) -> "JournalWriter":
         """Continue an existing journal (validated via :func:`read_journal`).
 
         A torn trailing line from a previous crash is first truncated
@@ -191,11 +243,17 @@ class JournalWriter:
                 repair.flush()
                 os.fsync(repair.fileno())
         handle = open(str(path), "a", encoding="utf-8")
-        return cls(path, handle)
+        return cls(path, handle, envfault=envfault)
 
     def _write_line(self, line: str) -> None:
         if self._handle is None:
             raise JournalError(f"journal {self.path} is closed")
+        context = _envfault.current(self._envfault)
+        if context is not None:
+            _fsfault.write(self._handle, line + "\n", "journal.write", context)
+            self._handle.flush()
+            _fsfault.fsync(self._handle.fileno(), "journal.fsync", context)
+            return
         self._handle.write(line + "\n")
         self._handle.flush()
         os.fsync(self._handle.fileno())

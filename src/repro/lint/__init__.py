@@ -22,6 +22,11 @@ and the paper artifacts' reproducibility — actually rest on:
 * **robustness** (SPB501): crash/recovery/fault code must not swallow
   exceptions (``except ...: pass``) or use unseeded randomness —
   campaign failures must stay loud and reproducers replayable;
+* **OS-fault hygiene** (SPB504): durability/runtime code must not
+  swallow ``OSError`` silently (the envfault checker grades those
+  layers on absorbing OS faults *loudly*), and raw ``os.kill`` /
+  ``signal.signal`` stay inside ``repro.durability.interrupt`` and
+  ``repro.envfault``;
 * **artifact I/O** (SPB502): result-writing code in ``repro.analysis``
   / ``repro.fault`` must not use bare ``open(..., "w")`` /
   ``json.dump`` / ``Path.write_text`` — artifacts route through the

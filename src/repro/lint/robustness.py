@@ -1,4 +1,4 @@
-"""Robustness lint (SPB501) for the crash/recovery/fault machinery.
+"""Robustness lints (SPB501, SPB504) for crash/recovery/fault machinery.
 
 The fault-injection campaign's whole value is that a failure is *loud*
 and *replayable*.  Two coding patterns silently destroy that:
@@ -15,12 +15,23 @@ SPB501    in ``repro.core.crash`` / ``repro.core.recovery`` /
           ``pass`` / ``...``, or unseeded randomness (global
           ``random.*`` calls, ``random.Random()`` / ``default_rng()``
           without a seed)
+SPB504    in ``repro.durability`` / ``repro.runtime``: an ``except``
+          handler naming ``OSError`` / ``IOError`` that neither logs
+          nor re-raises; anywhere in ``repro``: ``os.kill`` /
+          ``signal.signal`` outside the two sanctioned homes
+          (``repro.durability.interrupt``, ``repro.envfault``)
 ========  ==========================================================
 
-The determinism family (SPB101+) already polices ``repro.core``; this
-rule extends the RNG discipline to ``repro.fault`` (which is *not* part
-of the simulated machine) and adds the exception-swallowing check that
-no other family covers.
+The determinism family (SPB101+) already polices ``repro.core``; SPB501
+extends the RNG discipline to ``repro.fault`` (which is *not* part of
+the simulated machine) and adds the exception-swallowing check that no
+other family covers.  SPB504 is the chaos plane's contract: the
+environment-fault checker (:mod:`repro.envfault.check`) grades the
+durability and runtime layers on *absorbing* OS faults, and an
+``except OSError`` that silently eats the error makes a genuinely
+broken path look absorbed.  Raw ``os.kill`` / ``signal.signal`` belong
+only in the cooperative-interrupt plane and the fault injector — a
+third signal path would race both.
 """
 
 from __future__ import annotations
@@ -101,3 +112,99 @@ class RobustnessRule(Rule):
                             "numpy.random.default_rng() without a seed is "
                             "entropy-seeded; derive it from the case seed",
                         )
+
+
+OSFAULT_SCOPES: Tuple[str, ...] = (
+    "repro.durability",
+    "repro.runtime",
+)
+"""Packages the envfault checker grades on absorbing OS faults."""
+
+RAW_SIGNAL_HOMES: Tuple[str, ...] = (
+    "repro.durability.interrupt",
+    "repro.envfault",
+)
+"""The only modules allowed to call ``os.kill`` / ``signal.signal``."""
+
+#: Exception names whose handlers must log or re-raise in OSFAULT_SCOPES.
+_OS_ERROR_NAMES = ("OSError", "IOError", "EnvironmentError")
+
+#: Method names that count as "the handler surfaced the error".
+_LOG_METHODS = frozenset(
+    {"debug", "info", "warning", "error", "exception", "critical", "warn"}
+)
+
+
+def _named_exceptions(node: ast.AST) -> Iterator[str]:
+    """Names an ``except`` clause catches (unpacking tuples)."""
+    if isinstance(node, ast.Name):
+        yield node.id
+    elif isinstance(node, ast.Tuple):
+        for element in node.elts:
+            yield from _named_exceptions(element)
+
+
+def _handler_surfaces_error(handler: ast.ExceptHandler) -> bool:
+    """True when the handler re-raises or logs somewhere in its body."""
+    for stmt in handler.body:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Raise):
+                return True
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _LOG_METHODS
+            ):
+                return True
+    return False
+
+
+@register_rule
+class OsFaultHygieneRule(Rule):
+    code = "SPB504"
+    summary = (
+        "durability/runtime code must not swallow OSError silently "
+        "(log or re-raise), and raw os.kill / signal.signal belong "
+        "only in repro.durability.interrupt / repro.envfault"
+    )
+
+    def applies_to(self, ctx: LintContext) -> bool:
+        return ctx.module == "repro" or ctx.module.startswith("repro.")
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        swallow_scope = in_scope(ctx.module, OSFAULT_SCOPES)
+        sanctioned = in_scope(ctx.module, RAW_SIGNAL_HOMES)
+        imports = _ImportMap(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ExceptHandler) and swallow_scope:
+                caught = set(
+                    _named_exceptions(node.type) if node.type else ()
+                )
+                if not caught.intersection(_OS_ERROR_NAMES):
+                    continue
+                if _handler_surfaces_error(node):
+                    continue
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"handler for {' / '.join(sorted(caught & set(_OS_ERROR_NAMES)))} "
+                    "neither logs nor re-raises: the envfault checker "
+                    "grades this layer on absorbing OS faults *loudly* — "
+                    "a silently eaten OSError makes a broken durability "
+                    "path look healthy",
+                )
+            elif isinstance(node, ast.Call) and not sanctioned:
+                resolved = imports.resolve_call(node.func)
+                if resolved is None:
+                    continue
+                module, fn = resolved
+                if (module, fn) in (("os", "kill"), ("signal", "signal")):
+                    yield ctx.finding(
+                        self,
+                        node,
+                        f"raw {module}.{fn} outside "
+                        f"{' / '.join(RAW_SIGNAL_HOMES)}: a third signal "
+                        "path races the cooperative-interrupt plane and "
+                        "the fault injector; use StopToken / the "
+                        "envfault process shims instead",
+                    )

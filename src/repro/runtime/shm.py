@@ -36,10 +36,12 @@ Roles and lifecycle (who creates, who unlinks):
   last reference drops.
 
 A missing segment (the owner already cleaned up, or publication raced a
-recycled pool) is never an error: :func:`attach_trace` returns ``None``
-and the trace store falls back to deterministic regeneration, so the
-plane can be torn down at any moment without affecting results.  The
-whole plane is disabled by ``SECPB_TRACE_SHM=0``.
+recycled pool) is never an error: :func:`attach_trace` retries a
+transient attach ENOENT a bounded number of times (the announce→publish
+race window is short) and then returns ``None``, so the trace store
+falls back to deterministic regeneration and the plane can be torn down
+at any moment without affecting results.  The whole plane is disabled
+by ``SECPB_TRACE_SHM=0``.
 """
 
 from __future__ import annotations
@@ -47,6 +49,7 @@ from __future__ import annotations
 import atexit
 import logging
 import os
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -54,6 +57,7 @@ import numpy as np
 from numpy.typing import NDArray
 
 from ..durability import register_emergency_cleanup
+from ..envfault import context as _envfault
 from ..workloads.trace import Trace
 
 logger = logging.getLogger(__name__)
@@ -265,6 +269,43 @@ _ATTACHED: Dict[str, Tuple[object, Trace]] = {}
 #: NumPy view raises BufferError from its ``__del__``.
 _RETIRED: List[object] = []
 
+#: Attach attempts per lookup before falling back to regeneration.
+_ATTACH_ATTEMPTS = 3
+
+#: Base backoff (seconds) before the second and third attach attempts.
+_RETRY_BACKOFF = (0.005, 0.02)
+
+#: Process-wide count of attach retries (announce→publish ENOENT races).
+_ATTACH_RETRIES = 0
+
+
+def attach_retries() -> int:
+    """How many attach retries this process has performed (monotonic).
+
+    The runner snapshots this around each batch and folds the delta
+    into its ``runner.shm_attach_retries`` counter, so a racy segment
+    shows up in the metrics export instead of being silently absorbed.
+    """
+    return _ATTACH_RETRIES
+
+
+def _retry_delays(digest: str) -> Tuple[float, ...]:
+    """Deterministic jittered backoff schedule for one attach key.
+
+    The jitter is derived from the trace digest, not a clock or RNG:
+    the same key always waits the same schedule, so fault-plan replays
+    and timing-sensitive tests stay exact while distinct keys still
+    spread their retries.
+    """
+    try:
+        jitter = int(digest[:8], 16)
+    except ValueError:
+        jitter = 0
+    return tuple(
+        base * (1.0 + ((jitter >> (4 * i)) & 0xF) / 32.0)
+        for i, base in enumerate(_RETRY_BACKOFF)
+    )
+
 
 def announce(manifest: Sequence[TraceSegmentInfo]) -> None:
     """Record published segments so :func:`attach_trace` can find them.
@@ -305,7 +346,14 @@ def attach_trace(key: TraceKey) -> Optional[Tuple[Trace, str]]:
     digest mismatch) returns ``None`` and the caller regenerates from
     the deterministic spec; a stale announcement is dropped so the
     fallback is paid once, not per lookup.
+
+    An attach ENOENT can be a transient race (a warm worker attaching
+    while the owner is still publishing) rather than a real teardown, so
+    it is retried up to :data:`_ATTACH_ATTEMPTS` times on a
+    deterministic jittered backoff before the fallback — each retry is
+    counted in :func:`attach_retries`, never silently absorbed.
     """
+    global _ATTACH_RETRIES
     if not shm_enabled():
         return None
     info = _ANNOUNCED.get(key)
@@ -316,12 +364,36 @@ def attach_trace(key: TraceKey) -> Optional[Tuple[Trace, str]]:
         return cached[1], info.digest
     from multiprocessing.shared_memory import SharedMemory
 
-    try:
-        segment = SharedMemory(name=info.segment)
-    except FileNotFoundError:
-        logger.debug("segment %s gone; rebuilding %s locally", info.segment, key)
-        del _ANNOUNCED[key]
-        return None
+    context = _envfault.CURRENT
+    delays = _retry_delays(info.digest)
+    segment = None
+    for attempt in range(_ATTACH_ATTEMPTS):
+        fault = context.fire("shm.attach") if context is not None else None
+        try:
+            if fault is not None:
+                raise FileNotFoundError(
+                    f"envfault: segment {info.segment} missing ({fault.kind})"
+                )
+            segment = SharedMemory(name=info.segment)
+            break
+        except FileNotFoundError:
+            # A vanished segment (owner unlinked it) will not come back;
+            # only the transient announce→publish race is worth retrying.
+            vanished = fault is not None and fault.kind == "segment_vanish"
+            if not vanished and attempt + 1 < _ATTACH_ATTEMPTS:
+                _ATTACH_RETRIES += 1
+                logger.debug(
+                    "segment %s missing (attempt %d/%d); retrying in %.3fs",
+                    info.segment, attempt + 1, _ATTACH_ATTEMPTS,
+                    delays[attempt],
+                )
+                time.sleep(delays[attempt])
+                continue
+            logger.debug(
+                "segment %s gone; rebuilding %s locally", info.segment, key
+            )
+            del _ANNOUNCED[key]
+            return None
     columns: Dict[str, NDArray] = {}
     for field, dtype, offset, length in info.columns:
         array: NDArray = np.frombuffer(
@@ -337,7 +409,12 @@ def attach_trace(key: TraceKey) -> Optional[Tuple[Trace, str]]:
     )
     from ..workloads.store import trace_digest
 
-    if trace_digest(trace) != info.digest:
+    observed = trace_digest(trace)
+    if context is not None:
+        fault = context.fire("shm.verify")
+        if fault is not None:
+            observed = f"envfault:{observed}"
+    if observed != info.digest:
         # A recycled or torn segment must never feed a simulation.
         logger.warning(
             "segment %s failed digest verification; rebuilding %s locally",

@@ -483,3 +483,43 @@ class TestObservabilityFlags:
             == 0
         )
         assert "8 core(s)" in capsys.readouterr().out
+
+
+class TestChaosCommand:
+    """ISSUE 9: the `repro chaos` subcommand."""
+
+    def test_unknown_fault_kind_exits_two(self, capsys):
+        assert main(["chaos", "--faults", "power_loss"]) == 2
+        assert "unknown fault kind" in capsys.readouterr().err
+
+    def test_unusable_reproducer_exits_two(self, capsys, tmp_path):
+        bad = tmp_path / "nope.json"
+        bad.write_text("{}")
+        assert main(["chaos", "--replay", str(bad)]) == 2
+        assert "unusable reproducer" in capsys.readouterr().err
+
+    def test_single_soak_iteration_reports_and_saves(self, capsys, tmp_path):
+        import json
+
+        from repro.durability import ArtifactStatus, verify_artifact
+
+        report_path = tmp_path / "report.json"
+        code = main(
+            [
+                "chaos",
+                "--seed", "2023",
+                "--minutes", "1.0",
+                "--max-iterations", "1",
+                "--jobs", "1",
+                "--workdir", str(tmp_path / "work"),
+                "--save", str(report_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "envfault soak: 1 state(s) checked" in out
+        assert "all invariants held" in out
+        assert verify_artifact(report_path) is ArtifactStatus.OK
+        payload = json.loads(report_path.read_text())
+        assert payload["ok"] is True
+        assert payload["mode"] == "soak"

@@ -177,6 +177,48 @@ class TestJournal:
         with pytest.raises(JournalError, match="corrupt entry at line 2"):
             read_journal(path)
 
+    def test_mid_file_corruption_is_stale_not_plain(self, tmp_path):
+        # A corrupt record *followed by* valid records is mid-file damage:
+        # truncating there would silently drop the later records, so the
+        # reader must refuse with the stale (non-resumable) subclass.
+        path = tmp_path / "j.jsonl"
+        self._write(path, [(("a",), {"v": 1}), (("b",), {"v": 2})])
+        lines = path.read_text().splitlines()
+        lines[1] = lines[1][:10]
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(StaleJournalError, match="followed by later"):
+            read_journal(path)
+
+    def test_corrupt_final_record_is_plain_journal_error(self, tmp_path):
+        # Damage on the *last* complete line has nothing after it to
+        # lose — that is an ordinary corrupt entry, not staleness.
+        path = tmp_path / "j.jsonl"
+        self._write(path, [(("a",), {"v": 1}), (("b",), {"v": 2})])
+        lines = path.read_text().splitlines()
+        lines[2] = lines[2][:10]
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(JournalError) as excinfo:
+            read_journal(path)
+        assert not isinstance(excinfo.value, StaleJournalError)
+        assert "corrupt entry at line 3" in str(excinfo.value)
+
+    def test_blank_line_mid_file_is_stale(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        self._write(path, [(("a",), {"v": 1}), (("b",), {"v": 2})])
+        lines = path.read_text().splitlines()
+        lines[1] = ""  # zeroed-out record followed by a valid one
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(StaleJournalError, match="blank line 2"):
+            read_journal(path)
+
+    def test_trailing_blank_lines_tolerated(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        self._write(path, [(("a",), {"v": 1})])
+        with open(path, "a") as handle:
+            handle.write("\n\n")
+        journal = read_journal(path)
+        assert journal.entries == {("a",): {"v": 1}}
+
     def test_missing_file(self, tmp_path):
         with pytest.raises(JournalError, match="no journal"):
             read_journal(tmp_path / "nope.jsonl")

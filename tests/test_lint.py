@@ -660,6 +660,166 @@ def test_spb501_scoped_to_crash_recovery_fault():
     assert codes(crash) == ["SPB501"]
 
 
+# --- SPB504: OS-fault hygiene in durability/runtime ------------------------
+
+DURABILITY_MODULE = "repro.durability.artifacts"
+
+
+def lint_durability(source: str, module: str = DURABILITY_MODULE, **kwargs):
+    """Lint a snippet as if it lived inside the durability layer."""
+    return lint_source(
+        textwrap.dedent(source), "fixture.py", module=module, **kwargs
+    )
+
+
+def test_spb504_silent_oserror_pass():
+    findings = lint_durability(
+        """
+        def cleanup(path):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        """
+    )
+    assert codes(findings) == ["SPB504"]
+
+
+def test_spb504_silent_oserror_fallback_return():
+    findings = lint_durability(
+        """
+        def read(path):
+            try:
+                return path.read_bytes()
+            except OSError:
+                return None
+        """
+    )
+    assert codes(findings) == ["SPB504"]
+
+
+def test_spb504_tuple_catch_including_oserror():
+    findings = lint_durability(
+        """
+        def install(sig, handler):
+            try:
+                register(sig, handler)
+            except (ValueError, OSError):
+                pass
+        """
+    )
+    assert codes(findings) == ["SPB504"]
+
+
+def test_spb504_logged_handler_is_clean():
+    findings = lint_durability(
+        """
+        import logging
+
+        logger = logging.getLogger(__name__)
+
+        def cleanup(path):
+            try:
+                path.unlink()
+            except OSError as exc:
+                logger.debug("cannot remove %s: %s", path, exc)
+        """
+    )
+    assert findings == []
+
+
+def test_spb504_reraising_handler_is_clean():
+    findings = lint_durability(
+        """
+        def checkpoint(write, results):
+            try:
+                write(results)
+            except OSError as exc:
+                raise RunInterrupted(str(exc), results) from exc
+        """
+    )
+    assert findings == []
+
+
+def test_spb504_non_os_errors_not_this_rules_business():
+    findings = lint_durability(
+        """
+        def parse(text):
+            try:
+                return int(text)
+            except ValueError:
+                return 0
+        """
+    )
+    assert findings == []
+
+
+def test_spb504_swallow_check_scoped_to_durability_runtime():
+    source = """
+    def cleanup(path):
+        try:
+            path.unlink()
+        except OSError:
+            pass
+    """
+    assert codes(lint_durability(source, module="repro.runtime.shm")) == [
+        "SPB504"
+    ]
+    # Analysis code may treat a missing file as an ordinary outcome.
+    assert lint_durability(source, module="repro.analysis.compare") == []
+
+
+def test_spb504_raw_os_kill_outside_sanctioned_homes():
+    source = """
+    import os
+
+    def stop(pid):
+        os.kill(pid, 9)
+    """
+    findings = lint_durability(source, module="repro.analysis.runner")
+    assert codes(findings) == ["SPB504"]
+    assert "repro.envfault" in findings[0].message
+
+
+def test_spb504_signal_signal_outside_sanctioned_homes():
+    findings = lint_durability(
+        """
+        import signal
+
+        def install(handler):
+            signal.signal(signal.SIGTERM, handler)
+        """,
+        module="repro.cli",
+    )
+    assert codes(findings) == ["SPB504"]
+
+
+def test_spb504_sanctioned_homes_may_use_raw_signals():
+    source = """
+    import os
+    import signal
+
+    def arm(pid, handler):
+        signal.signal(signal.SIGTERM, handler)
+        os.kill(pid, signal.SIGKILL)
+    """
+    for module in ("repro.durability.interrupt", "repro.envfault.procfault"):
+        assert lint_durability(source, module=module) == []
+
+
+def test_spb504_does_not_police_non_repro_trees():
+    findings = lint_durability(
+        """
+        import os
+
+        def stop(pid):
+            os.kill(pid, 9)
+        """,
+        module="scripts.helper",
+    )
+    assert findings == []
+
+
 # --- suppressions ---------------------------------------------------------
 
 

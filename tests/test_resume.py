@@ -404,6 +404,57 @@ class TestKillMidRun:
         assert _shm_segments(done.pid) == []
         assert resumed.read_bytes() == baseline.read_bytes()
 
+    def test_enospc_on_checkpoint_exits_resumable_byte_identical(
+        self, tmp_path
+    ):
+        """ISSUE 9: the filesystem filling up mid-run is an interrupt,
+        not a crash — exit 75, and a resume on a healthy disk renders
+        the identical artifact."""
+        baseline = tmp_path / "baseline.json"
+        subprocess.run(
+            CLI + CAMPAIGN_ARGS + ["--save", str(baseline)],
+            check=True, env=_env(), stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+
+        # Arm an envfault plan: the 5th journal append (header + 4
+        # records) hits ENOSPC, deterministically.
+        plan_path = tmp_path / "plan.json"
+        plan_path.write_text(json.dumps({
+            "plan_version": 1,
+            "seed": 0,
+            "specs": [
+                {"op": "journal.write", "index": 4, "kind": "enospc"},
+            ],
+        }))
+        journal_path = tmp_path / "campaign.jsonl"
+        env = _env()
+        env["SECPB_ENVFAULT"] = str(plan_path)
+        first = subprocess.run(
+            CLI + CAMPAIGN_ARGS + ["--journal", str(journal_path)],
+            env=env, stdout=subprocess.DEVNULL, stderr=subprocess.PIPE,
+        )
+        assert first.returncode == EXIT_RESUMABLE, first.stderr.decode()
+        assert b"--resume" in first.stderr
+
+        # The journal survived as a valid prefix (ENOSPC struck before
+        # the record landed, so nothing torn or half-written).
+        journal = read_journal(journal_path)
+        assert journal.kind == JOURNAL_KIND
+        assert len(journal.entries) >= 1
+
+        resumed = tmp_path / "resumed.json"
+        done = subprocess.run(
+            CLI + CAMPAIGN_ARGS + [
+                "--resume", str(journal_path), "--save", str(resumed),
+            ],
+            env=_env(), stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        assert done.returncode == 0
+        assert resumed.read_bytes() == baseline.read_bytes()
+        assert verify_artifact(resumed) is ArtifactStatus.OK
+
     def test_deadline_exit_code_then_resume(self, tmp_path):
         journal_path = tmp_path / "campaign.jsonl"
         first = subprocess.run(

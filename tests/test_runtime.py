@@ -180,6 +180,108 @@ class TestSharedTraceRegistry:
             registry.cleanup()
 
 
+class TestAttachRetry:
+    """ENOENT on attach retries on a bounded backoff (ISSUE 9)."""
+
+    KEY = ("povray", 384, 97)
+
+    def _plan(self, kind, count=1):
+        from repro.envfault import FaultPlan, FaultSpec
+
+        return FaultPlan(
+            seed=0,
+            specs=(FaultSpec(op="shm.attach", index=0, kind=kind, count=count),),
+        )
+
+    def test_transient_enoent_retried_then_succeeds(self):
+        from repro.envfault import injected
+
+        registry = SharedTraceRegistry()
+        try:
+            trace = build_trace(*self.KEY)
+            info = registry.publish(self.KEY, trace, trace_digest(trace))
+            announce([info])
+            before = shm.attach_retries()
+            with injected(self._plan("attach_enoent", count=2)) as context:
+                result = attach_trace(self.KEY)
+            assert result is not None
+            attached, digest = result
+            assert digest == info.digest
+            assert np.array_equal(attached.gap, trace.gap)
+            # Two faulted attempts -> two retries, success on the third.
+            assert shm.attach_retries() - before == 2
+            assert len(context.fired) == 2
+            assert self.KEY in announced_keys()
+        finally:
+            reset_attachments()
+            registry.cleanup()
+
+    def test_vanished_segment_not_retried(self):
+        from repro.envfault import injected
+
+        registry = SharedTraceRegistry()
+        try:
+            trace = build_trace(*self.KEY)
+            info = registry.publish(self.KEY, trace, trace_digest(trace))
+            announce([info])
+            before = shm.attach_retries()
+            with injected(self._plan("segment_vanish")):
+                assert attach_trace(self.KEY) is None
+            # An unlinked segment will not come back: no retries burned,
+            # stale announcement dropped so the rebuild is paid once.
+            assert shm.attach_retries() == before
+            assert self.KEY not in announced_keys()
+        finally:
+            reset_attachments()
+            registry.cleanup()
+
+    def test_persistent_enoent_exhausts_budget_and_falls_back(self):
+        from repro.envfault import injected
+
+        registry = SharedTraceRegistry()
+        try:
+            trace = build_trace(*self.KEY)
+            info = registry.publish(self.KEY, trace, trace_digest(trace))
+            announce([info])
+            before = shm.attach_retries()
+            with injected(self._plan("attach_enoent", count=shm._ATTACH_ATTEMPTS)):
+                assert attach_trace(self.KEY) is None
+            assert shm.attach_retries() - before == shm._ATTACH_ATTEMPTS - 1
+            assert self.KEY not in announced_keys()
+        finally:
+            reset_attachments()
+            registry.cleanup()
+
+    def test_injected_digest_mismatch_falls_back(self):
+        from repro.envfault import FaultPlan, FaultSpec, injected
+
+        registry = SharedTraceRegistry()
+        try:
+            trace = build_trace(*self.KEY)
+            info = registry.publish(self.KEY, trace, trace_digest(trace))
+            announce([info])
+            plan = FaultPlan(
+                seed=0,
+                specs=(FaultSpec(op="shm.verify", index=0, kind="digest_mismatch"),),
+            )
+            with injected(plan):
+                assert attach_trace(self.KEY) is None
+            assert self.KEY not in announced_keys()
+        finally:
+            reset_attachments()
+            registry.cleanup()
+
+    def test_retry_delays_deterministic_and_bounded(self):
+        digest = "deadbeef" + "0" * 56
+        first = shm._retry_delays(digest)
+        assert first == shm._retry_delays(digest)
+        assert len(first) == len(shm._RETRY_BACKOFF)
+        for delay, base in zip(first, shm._RETRY_BACKOFF):
+            assert base <= delay <= base * 1.5
+        # A non-hex digest degrades to the unjittered base schedule.
+        assert shm._retry_delays("not-hex!") == shm._RETRY_BACKOFF
+
+
 @dataclass(frozen=True)
 class Task:
     key: str

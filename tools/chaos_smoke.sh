@@ -1,0 +1,45 @@
+#!/bin/sh
+# chaos-smoke: the CI gate for the environment-fault plane (ISSUE 9).
+#
+# Runs the systematic crash-consistency checker (every torn journal
+# prefix, every partially-applied artifact write, ENOSPC mid-campaign,
+# a worker SIGKILL storm) and a short seeded randomized soak, asserting
+# zero invariant violations and zero /dev/shm trace-segment residue.
+# Both modes are fully deterministic: the soak derives every fault plan
+# from --seed, so a CI failure here replays locally with the same seed.
+#
+# Usage: tools/chaos_smoke.sh  (from the repo root; needs PYTHONPATH=src)
+set -eu
+
+PYTHON="${PYTHON:-python}"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+echo "chaos-smoke: systematic crash-consistency sweep"
+$PYTHON -m repro chaos --systematic --jobs 2 --workdir "$WORK/systematic" \
+    --save "$WORK/systematic.json"
+
+echo "chaos-smoke: seeded randomized soak"
+$PYTHON -m repro chaos --seed 2023 --ops 3 --minutes 0.2 --jobs 2 \
+    --workdir "$WORK/soak" --save "$WORK/soak.json"
+
+echo "chaos-smoke: verifying reports and /dev/shm residue"
+$PYTHON - "$WORK" <<'EOF'
+import glob
+import json
+import sys
+from pathlib import Path
+
+work = Path(sys.argv[1])
+for name in ("systematic.json", "soak.json"):
+    report = json.loads((work / name).read_text())
+    assert report["violations"] == [], f"{name}: {report['violations']}"
+    assert report["states"] > 0, f"{name}: checked nothing"
+    assert report["shm_residue"] == [], f"{name}: {report['shm_residue']}"
+
+from repro.runtime.shm import segment_prefix
+residue = glob.glob(f"/dev/shm/{segment_prefix()}*")
+assert not residue, f"leaked trace segments: {residue}"
+EOF
+
+echo "chaos-smoke: OK (all crash-consistency invariants held)"
