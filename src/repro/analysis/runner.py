@@ -78,6 +78,7 @@ from ..envfault import context as _envfault
 from ..envfault import procfault as _procfault
 from ..obs.metrics import MetricsRegistry
 from ..obs.tracing import LANE_STORES, Tracer
+from ..resilience import RetryPolicy
 from ..runtime.pool import (
     WorkerPool,
     discard_shared_pool,
@@ -400,7 +401,7 @@ def _run_tasks_serial(
     tasks: Sequence[Any],
     fn: Callable[[Any], Any],
     on_error: str,
-    retries: int,
+    retry_policy: RetryPolicy,
     stop: Optional[StopToken],
     on_result: Optional[Callable[[JobKey, Any], None]],
     obs: Optional[_RunnerObs] = None,
@@ -410,13 +411,14 @@ def _run_tasks_serial(
     for index, task in enumerate(tasks, start=1):
         if stop is not None and stop.check():
             raise RunInterrupted(stop.reason, results)
-        attempts = 0
-        while True:
-            attempts += 1
+        # The policy's attempt iterator owns the retry budget and any
+        # inter-attempt backoff (zero-delay for the runner's default
+        # policy, so this is byte-identical to the pre-resilience loop).
+        for attempt in retry_policy.attempts_iter(str(task.key)):
             try:
                 result, elapsed = _timed_call(fn, task)
             except Exception as exc:
-                if attempts <= retries:
+                if retry_policy.allows_retry(attempt):
                     if obs is not None:
                         obs.task_retried()
                     logger.info(
@@ -428,12 +430,12 @@ def _run_tasks_serial(
                     raise
                 _record(
                     results, task.key,
-                    _failure_for(task.key, exc, attempts), on_result,
+                    _failure_for(task.key, exc, attempt), on_result,
                 )
                 if obs is not None:
                     obs.task_failed()
                 logger.info("[%d/%d] %s: FAILED after %d attempt(s)",
-                            index, total, task.key, attempts)
+                            index, total, task.key, attempt)
                 break
             _record(results, task.key, result, on_result)
             if obs is not None:
@@ -637,7 +639,7 @@ def _run_tasks_pool(
     fn: Callable[[Any], Any],
     workers: int,
     on_error: str,
-    retries: int,
+    retry_policy: RetryPolicy,
     timeout: Optional[float],
     stop: Optional[StopToken],
     on_result: Optional[Callable[[JobKey, Any], None]],
@@ -756,7 +758,7 @@ def _run_tasks_pool(
                         key = task.key
                         attempts[key] += 1
                         index += 1
-                        if attempts[key] <= retries:
+                        if retry_policy.allows_retry(attempts[key]):
                             retry.append(task)
                             if obs is not None:
                                 obs.task_retried()
@@ -785,7 +787,7 @@ def _run_tasks_pool(
                     attempts[key] += 1
                     index += 1
                     if isinstance(outcome, _BatchError):
-                        if attempts[key] <= retries:
+                        if retry_policy.allows_retry(attempts[key]):
                             retry.append(task)
                             if obs is not None:
                                 obs.task_retried()
@@ -924,6 +926,12 @@ def run_tasks(
     """
     if on_error not in ("raise", "record"):
         raise ValueError(f"unknown on_error mode {on_error!r}")
+    # The public knob stays an integer retry count; internally it is a
+    # zero-backoff resilience policy so serial and pool paths share one
+    # retry-budget accounting (`allows_retry`) instead of four inline
+    # comparisons.  base_delay=0 never consults the clock, keeping the
+    # retry round byte-identical to the pre-policy behavior.
+    retry_policy = RetryPolicy(attempts=max(1, retries + 1), base_delay=0.0)
     tasks = list(tasks)
     _check_unique_keys(tasks)
     if not tasks:
@@ -947,11 +955,11 @@ def run_tasks(
             fresh: Dict[JobKey, Any] = {}
         elif workers <= 1 or len(todo) <= 1:
             fresh = _run_tasks_serial(
-                todo, fn, on_error, retries, stop, on_result, obs
+                todo, fn, on_error, retry_policy, stop, on_result, obs
             )
         else:
             fresh = _run_tasks_pool(
-                todo, fn, workers, on_error, retries, timeout, stop,
+                todo, fn, workers, on_error, retry_policy, timeout, stop,
                 on_result, obs, chunk=chunk, setup=setup, pool=pool,
             )
     except RunInterrupted as exc:

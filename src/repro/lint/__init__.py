@@ -27,6 +27,12 @@ and the paper artifacts' reproducibility — actually rest on:
   layers on absorbing OS faults *loudly*), and raw ``os.kill`` /
   ``signal.signal`` stay inside ``repro.durability.interrupt`` and
   ``repro.envfault``;
+* **resilience hygiene** (SPB505): raw ``time.sleep`` calls and
+  hand-rolled retry loops (``while``/``for`` whose handler swallows and
+  continues) stay out of library code — waiting routes through the
+  injectable clock (``repro.resilience.get_clock().sleep``) and retry
+  schedules through :class:`repro.resilience.RetryPolicy`, so tests can
+  drive every backoff on a virtual clock;
 * **artifact I/O** (SPB502): result-writing code in ``repro.analysis``
   / ``repro.fault`` must not use bare ``open(..., "w")`` /
   ``json.dump`` / ``Path.write_text`` — artifacts route through the
@@ -69,6 +75,7 @@ from . import (  # noqa: F401
     determinism,
     observability,
     pool_safety,
+    resilience_hygiene,
     robustness,
     scheme_invariants,
     stats_hygiene,

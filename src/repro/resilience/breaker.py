@@ -1,0 +1,160 @@
+"""Circuit breaker: closed / open / half-open over a failure-rate window.
+
+The serving frontend keeps one breaker per scheme: repeated pool crashes
+executing a scheme's requests trip its breaker *open*, and further
+requests for that scheme are shed immediately (a typed ``breaker_open``
+rejection) instead of burning a fresh pool fork per doomed attempt —
+the same admit-only-what-you-can-drain discipline SecPB's battery
+budget applies to persist buffers.  After ``open_seconds`` of cooldown
+the breaker moves to *half-open* and admits probe calls; enough probe
+successes close it, any probe failure re-opens it and restarts the
+cooldown.
+
+All timing flows through the injectable clock, so tests drive the full
+open → half-open → closed cycle by advancing a
+:class:`~repro.resilience.clock.ManualClock` — no real waiting.
+
+State transitions are serialized by an internal lock, but the admission
+model is single-probe-granting only in the sense that *callers* are
+expected to pair each ``allow()`` with exactly one ``record_success`` /
+``record_failure`` — the serve dispatcher is a single thread, which
+satisfies this trivially.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional, Tuple
+
+from .clock import Clock, get_clock
+
+logger = logging.getLogger(__name__)
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+@dataclass(frozen=True)
+class BreakerPolicy:
+    """When to trip, how long to cool down, how to prove recovery.
+
+    Attributes:
+        window: sliding window of recent call outcomes judged for the
+            failure rate.
+        failure_rate: trip when ``failures / len(window) >= rate``.
+        min_calls: outcomes required in the window before the rate is
+            judged at all (one early failure must not trip a breaker).
+        open_seconds: cooldown before an open breaker admits probes.
+        half_open_probes: consecutive probe successes needed to close.
+    """
+
+    window: int = 8
+    failure_rate: float = 0.5
+    min_calls: int = 2
+    open_seconds: float = 30.0
+    half_open_probes: int = 1
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise ValueError(f"window must be >= 1, got {self.window}")
+        if not 0.0 < self.failure_rate <= 1.0:
+            raise ValueError(
+                f"failure_rate must be in (0, 1], got {self.failure_rate}"
+            )
+        if self.min_calls < 1:
+            raise ValueError(f"min_calls must be >= 1, got {self.min_calls}")
+        if self.open_seconds < 0:
+            raise ValueError(
+                f"open_seconds must be >= 0, got {self.open_seconds}"
+            )
+        if self.half_open_probes < 1:
+            raise ValueError(
+                f"half_open_probes must be >= 1, got {self.half_open_probes}"
+            )
+
+
+class CircuitBreaker:
+    """One protected dependency's trip state (thread-safe).
+
+    ``metrics`` (a :class:`repro.obs.MetricsRegistry`, duck-typed so this
+    package stays import-light) receives a transition counter per target
+    state; ``transitions`` records the ``(from, to)`` sequence for
+    tests.
+    """
+
+    def __init__(
+        self,
+        policy: Optional[BreakerPolicy] = None,
+        name: str = "default",
+        clock: Optional[Clock] = None,
+        metrics: Optional[object] = None,
+    ) -> None:
+        self.policy = policy if policy is not None else BreakerPolicy()
+        self.name = name
+        self._clock = clock
+        self._metrics = metrics
+        self._lock = threading.Lock()
+        self._outcomes: Deque[bool] = deque(maxlen=self.policy.window)
+        self._opened_at = 0.0
+        self._probe_successes = 0
+        self.state = CLOSED
+        self.transitions: List[Tuple[str, str]] = []
+
+    def _now(self) -> float:
+        return (self._clock if self._clock is not None else get_clock()).monotonic()
+
+    def _transition(self, new_state: str) -> None:
+        old = self.state
+        self.state = new_state
+        self.transitions.append((old, new_state))
+        logger.info("breaker %s: %s -> %s", self.name, old, new_state)
+        if self._metrics is not None:
+            self._metrics.counter(
+                f"resilience.breaker_{new_state}",
+                f"Breaker transitions into the {new_state} state",
+                deterministic=False,
+            ).inc()
+
+    def allow(self) -> bool:
+        """May a call proceed now?  (May move an open breaker to half-open.)"""
+        with self._lock:
+            if self.state == OPEN:
+                if self._now() - self._opened_at >= self.policy.open_seconds:
+                    self._probe_successes = 0
+                    self._transition(HALF_OPEN)
+                else:
+                    return False
+            return True
+
+    def record_success(self) -> None:
+        with self._lock:
+            if self.state == HALF_OPEN:
+                self._probe_successes += 1
+                if self._probe_successes >= self.policy.half_open_probes:
+                    self._outcomes.clear()
+                    self._transition(CLOSED)
+                return
+            if self.state == OPEN:
+                return
+            self._outcomes.append(True)
+
+    def record_failure(self) -> None:
+        with self._lock:
+            if self.state == HALF_OPEN:
+                self._opened_at = self._now()
+                self._transition(OPEN)
+                return
+            if self.state == OPEN:
+                return
+            self._outcomes.append(False)
+            failures = sum(1 for ok in self._outcomes if not ok)
+            if (
+                len(self._outcomes) >= self.policy.min_calls
+                and failures / len(self._outcomes) >= self.policy.failure_rate
+            ):
+                self._opened_at = self._now()
+                self._transition(OPEN)

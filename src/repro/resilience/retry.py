@@ -1,0 +1,152 @@
+"""Declarative retry: capped exponential backoff, deterministic jitter.
+
+A :class:`RetryPolicy` is pure data — attempts, base delay, multiplier,
+cap, jitter fraction — and every schedule it produces is a pure function
+of that data plus a caller-supplied *key* (typically a content digest).
+There is no RNG and no clock read in the jitter: the same key always
+waits the same schedule, so fault-plan replays and timing-sensitive
+tests stay exact while distinct keys still spread their retries (the
+per-attempt jitter nibble comes from a different 4 bits of the key
+token).
+
+The policy executes three ways, matching how the call sites are shaped:
+
+* :meth:`RetryPolicy.call` — wrap a callable, retrying on the given
+  exception types (the shm attach-ENOENT site);
+* :meth:`RetryPolicy.attempts_iter` — an attempt-number generator that
+  sleeps the schedule *between* iterations, for loops that need custom
+  per-failure accounting (the serial task runner);
+* :meth:`RetryPolicy.allows_retry` — a bare predicate over a failure
+  count, for harvest loops whose execution the policy cannot wrap (the
+  batched pool runner).
+
+All sleeping goes through the injectable clock (:mod:`.clock`); a zero
+``base_delay`` never touches the clock at all, so a pure retry-count
+policy is byte-identical to a hand-rolled ``attempts <= retries`` check.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional, Tuple, Type
+
+from .clock import Clock, get_clock
+
+
+def jitter_token(key: str) -> int:
+    """A deterministic 32-bit token for ``key``.
+
+    A hex-prefixed key (the common case: SHA-256 digests) parses
+    directly, preserving the exact schedules the shm plane used before
+    the migration; anything else hashes through SHA-256 so arbitrary
+    request ids still spread deterministically.
+    """
+    try:
+        return int(key[:8], 16)
+    except ValueError:
+        digest = hashlib.sha256(key.encode("utf-8")).hexdigest()
+        return int(digest[:8], 16)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to try, and how long to wait between tries.
+
+    Attributes:
+        attempts: total executions allowed (1 = no retries).
+        base_delay: seconds before the first retry; 0 disables backoff
+            entirely (the clock is never consulted).
+        multiplier: exponential growth factor per retry.
+        max_delay: cap applied to the scaled delay *before* jitter.
+        jitter_frac: per-nibble jitter step — retry ``i`` waits
+            ``scaled * (1 + nibble_i * jitter_frac)`` where ``nibble_i``
+            is 4 bits of the key token, so jitter is deterministic per
+            key and bounded by ``15 * jitter_frac``.
+    """
+
+    attempts: int = 3
+    base_delay: float = 0.0
+    multiplier: float = 2.0
+    max_delay: float = 60.0
+    jitter_frac: float = 1.0 / 32.0
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError(f"attempts must be >= 1, got {self.attempts}")
+        if self.base_delay < 0:
+            raise ValueError(f"base_delay must be >= 0, got {self.base_delay}")
+        if self.multiplier <= 0:
+            raise ValueError(f"multiplier must be > 0, got {self.multiplier}")
+        if self.max_delay < 0:
+            raise ValueError(f"max_delay must be >= 0, got {self.max_delay}")
+        if self.jitter_frac < 0:
+            raise ValueError(
+                f"jitter_frac must be >= 0, got {self.jitter_frac}"
+            )
+
+    def delays(self, key: str = "") -> Tuple[float, ...]:
+        """The ``attempts - 1`` inter-attempt delays for ``key``."""
+        if self.base_delay == 0.0:
+            return (0.0,) * (self.attempts - 1)
+        token = jitter_token(key) if self.jitter_frac > 0 and key else 0
+        return tuple(
+            min(self.max_delay, self.base_delay * self.multiplier ** i)
+            * (1.0 + ((token >> (4 * i)) & 0xF) * self.jitter_frac)
+            for i in range(self.attempts - 1)
+        )
+
+    def allows_retry(self, failures: int) -> bool:
+        """May a task that has already failed ``failures`` times run again?"""
+        return failures < self.attempts
+
+    def attempts_iter(
+        self, key: str = "", clock: Optional[Clock] = None
+    ) -> Iterator[int]:
+        """Yield attempt numbers ``1..attempts``, sleeping between them.
+
+        The sleep happens lazily — only when the caller comes back for
+        the next attempt after a failure — so a loop that breaks on
+        success never waits.
+        """
+        delays = self.delays(key)
+        for attempt in range(1, self.attempts + 1):
+            if attempt > 1:
+                delay = delays[attempt - 2]
+                if delay > 0:
+                    (clock if clock is not None else get_clock()).sleep(delay)
+            yield attempt
+
+    def call(
+        self,
+        fn: Callable[[], object],
+        *,
+        key: str = "",
+        retry_on: Tuple[Type[BaseException], ...] = (Exception,),
+        clock: Optional[Clock] = None,
+        giveup: Optional[Callable[[BaseException], bool]] = None,
+        on_retry: Optional[Callable[[int, BaseException], None]] = None,
+    ) -> object:
+        """Run ``fn`` under this policy; the final failure propagates.
+
+        ``giveup(exc)`` short-circuits retries for failures that will
+        not heal (a vanished shm segment never comes back); ``on_retry``
+        fires before each backoff sleep with the 1-based attempt number
+        that just failed — the hook for counters and debug logs.
+        """
+        active = clock if clock is not None else get_clock()
+        delays = self.delays(key)
+        for attempt in range(1, self.attempts + 1):
+            try:
+                return fn()
+            except retry_on as exc:
+                if attempt >= self.attempts:
+                    raise
+                if giveup is not None and giveup(exc):
+                    raise
+                if on_retry is not None:
+                    on_retry(attempt, exc)
+                delay = delays[attempt - 1]
+                if delay > 0:
+                    active.sleep(delay)
+        raise AssertionError("unreachable")  # pragma: no cover

@@ -1,0 +1,72 @@
+"""Supervision policies: when to recycle a resource, how to pace restarts.
+
+Two small, declarative pieces shared by the warm worker-pool plane and
+the serving frontend's pool supervisor:
+
+* :class:`RecyclePolicy` — the predicate deciding whether a warm
+  resource may be reused or must be replaced.  The process-wide pool
+  (:func:`repro.runtime.pool.get_shared_pool`) consults one instead of
+  an inline condition, so the recycle rules are data, not control flow.
+* :class:`RestartBackoff` — consecutive-failure tracking that sleeps a
+  :class:`~repro.resilience.retry.RetryPolicy` schedule between
+  restarts of a crashing dependency.  Unlike a retry loop it never
+  gives up — a supervisor restarts forever — but the delay index is
+  clamped to the policy's last (largest) delay, so a crash-looping pool
+  settles at the capped backoff instead of spinning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .clock import Clock, get_clock
+from .retry import RetryPolicy
+
+
+@dataclass(frozen=True)
+class RecyclePolicy:
+    """When a warm resource must be replaced instead of reused."""
+
+    on_unhealthy: bool = True
+    on_resize: bool = True
+
+    def should_recycle(self, healthy: bool, resized: bool) -> bool:
+        """Must the resource be torn down before serving this request?"""
+        return (self.on_unhealthy and not healthy) or (
+            self.on_resize and resized
+        )
+
+
+class RestartBackoff:
+    """Paces restarts of a crashing dependency (clock-injectable).
+
+    ``record_failure`` registers one crash and sleeps the scheduled
+    backoff for the current consecutive-failure streak;
+    ``record_success`` resets the streak so the next crash starts from
+    the base delay again.
+    """
+
+    def __init__(
+        self, policy: RetryPolicy, clock: Optional[Clock] = None
+    ) -> None:
+        self.policy = policy
+        self._clock = clock
+        self.consecutive = 0
+        self.restarts = 0
+
+    def record_failure(self, key: str = "") -> float:
+        """One more crash: sleep and return the backoff applied."""
+        delays = self.policy.delays(key)
+        index = min(self.consecutive, len(delays) - 1) if delays else -1
+        self.consecutive += 1
+        self.restarts += 1
+        delay = delays[index] if index >= 0 else 0.0
+        if delay > 0:
+            (self._clock if self._clock is not None else get_clock()).sleep(
+                delay
+            )
+        return delay
+
+    def record_success(self) -> None:
+        self.consecutive = 0

@@ -1,0 +1,50 @@
+"""Timeout policies and deadlines over the injectable clock.
+
+A :class:`TimeoutPolicy` is the declarative budget ("requests get 30s");
+:meth:`TimeoutPolicy.deadline` starts the clock for one request.  The
+serving frontend checks :meth:`Deadline.expired` before dispatch (a
+request that aged out in the queue is shed, not executed) and passes
+:meth:`Deadline.remaining` down as the runner's per-task harvest
+timeout, so one budget covers queueing *and* execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .clock import Clock, get_clock
+
+
+class Deadline:
+    """One started budget: expiry checks and the remaining allowance."""
+
+    def __init__(self, seconds: float, clock: Optional[Clock] = None) -> None:
+        if seconds <= 0:
+            raise ValueError(f"deadline seconds must be > 0, got {seconds}")
+        self._clock = clock if clock is not None else get_clock()
+        self.seconds = float(seconds)
+        self._expires = self._clock.monotonic() + self.seconds
+
+    def remaining(self) -> float:
+        return max(0.0, self._expires - self._clock.monotonic())
+
+    def expired(self) -> bool:
+        return self._clock.monotonic() >= self._expires
+
+
+@dataclass(frozen=True)
+class TimeoutPolicy:
+    """A per-operation wall budget; ``None`` means unbounded."""
+
+    seconds: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.seconds is not None and self.seconds <= 0:
+            raise ValueError(f"seconds must be > 0, got {self.seconds}")
+
+    def deadline(self, clock: Optional[Clock] = None) -> Optional[Deadline]:
+        """Start the budget now, or ``None`` when unbounded."""
+        if self.seconds is None:
+            return None
+        return Deadline(self.seconds, clock)

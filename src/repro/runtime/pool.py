@@ -41,8 +41,16 @@ from concurrent.futures import Future, ProcessPoolExecutor
 from typing import Any, Callable, Dict, Optional, Sequence, Tuple
 
 from . import shm
+from ..resilience import RecyclePolicy
 
 logger = logging.getLogger(__name__)
+
+#: Declarative reuse contract for the shared warm pool: recycle on a
+#: latched-unhealthy pool (wedged/crashed worker, interrupt salvage) or
+#: a worker-count change, reuse otherwise.  The serving frontend's pool
+#: supervisor leans on the same predicate firing inside
+#: :func:`get_shared_pool` — a crashed pool is never handed out twice.
+RECYCLE_POLICY = RecyclePolicy(on_unhealthy=True, on_resize=True)
 
 EXEC_PLANE_ENV = "SECPB_EXEC_PLANE"
 """Set to ``0`` for legacy per-call pools (no warm reuse, no batching)."""
@@ -124,13 +132,16 @@ _SHARED: Optional[WorkerPool] = None
 def get_shared_pool(workers: int) -> WorkerPool:
     """The process-wide warm pool, recycled only when it cannot serve.
 
-    Reuse requires a healthy pool with the same worker count; anything
-    else shuts the old pool down (without waiting — a wedged worker must
-    not block the caller) and forks a new generation.
+    Reuse requires a healthy pool with the same worker count — the
+    :data:`RECYCLE_POLICY` predicate; anything else shuts the old pool
+    down (without waiting — a wedged worker must not block the caller)
+    and forks a new generation.
     """
     global _SHARED
     pool = _SHARED
-    if pool is not None and (not pool.healthy or pool.workers != workers):
+    if pool is not None and RECYCLE_POLICY.should_recycle(
+        healthy=pool.healthy, resized=pool.workers != workers
+    ):
         pool.shutdown(wait=False, cancel_futures=True)
         _SHARED = pool = None
     if pool is None:

@@ -49,7 +49,6 @@ from __future__ import annotations
 import atexit
 import logging
 import os
-import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -58,6 +57,7 @@ from numpy.typing import NDArray
 
 from ..durability import register_emergency_cleanup
 from ..envfault import context as _envfault
+from ..resilience import RetryPolicy
 from ..workloads.trace import Trace
 
 logger = logging.getLogger(__name__)
@@ -178,31 +178,34 @@ class SharedTraceRegistry:
         size = max(1, offset)
 
         segment = None
+        info: Optional[TraceSegmentInfo] = None
         name = ""
         while segment is None:
             self._sequence += 1
             name = f"{segment_prefix()}{self._sequence}_{digest[:8]}"
             try:
                 segment = SharedMemory(create=True, size=size, name=name)
+                for (field, _dtype, start, _length), (_f, array) in zip(
+                    layout, arrays
+                ):
+                    raw = array.tobytes()
+                    segment.buf[start:start + len(raw)] = raw
+                info = TraceSegmentInfo(
+                    key=key,
+                    segment=name,
+                    trace_name=trace.name,
+                    digest=digest,
+                    columns=tuple(layout),
+                    size=size,
+                )
             except FileExistsError:
-                continue  # stale name from an unrelated owner; pick another
-        try:
-            for (field, _dtype, start, _length), (_f, array) in zip(layout, arrays):
-                raw = array.tobytes()
-                segment.buf[start:start + len(raw)] = raw
-            info = TraceSegmentInfo(
-                key=key,
-                segment=name,
-                trace_name=trace.name,
-                digest=digest,
-                columns=tuple(layout),
-                size=size,
-            )
-        except BaseException:
-            # Never leave a half-written named segment behind.
-            segment.close()
-            segment.unlink()
-            raise
+                segment = None  # stale name from an unrelated owner: re-key
+            except BaseException:
+                # Never leave a half-written named segment behind.
+                segment.close()
+                segment.unlink()
+                raise
+        assert info is not None
         self._segments[key] = (segment, info)
         self.published += 1
         self.published_bytes += size
@@ -269,14 +272,22 @@ _ATTACHED: Dict[str, Tuple[object, Trace]] = {}
 #: NumPy view raises BufferError from its ``__del__``.
 _RETIRED: List[object] = []
 
-#: Attach attempts per lookup before falling back to regeneration.
-_ATTACH_ATTEMPTS = 3
-
-#: Base backoff (seconds) before the second and third attach attempts.
-_RETRY_BACKOFF = (0.005, 0.02)
+#: Attach retry policy: three attempts on a (0.005s, 0.02s) base
+#: schedule with digest-seeded jitter.  ``base_delay * multiplier**i``
+#: reproduces the plane's original hand-rolled backoff tuple exactly
+#: (0.005, 0.02) and ``jitter_frac=1/32`` is the original ``nibble/32``
+#: term, so the migration onto :mod:`repro.resilience` is byte-identical
+#: — same schedule, same sleeps, for every digest.
+ATTACH_RETRY_POLICY = RetryPolicy(
+    attempts=3, base_delay=0.005, multiplier=4.0, jitter_frac=1.0 / 32.0
+)
 
 #: Process-wide count of attach retries (announce→publish ENOENT races).
 _ATTACH_RETRIES = 0
+
+
+class _SegmentVanished(FileNotFoundError):
+    """An injected ``segment_vanish``: the segment will never come back."""
 
 
 def attach_retries() -> int:
@@ -287,24 +298,6 @@ def attach_retries() -> int:
     shows up in the metrics export instead of being silently absorbed.
     """
     return _ATTACH_RETRIES
-
-
-def _retry_delays(digest: str) -> Tuple[float, ...]:
-    """Deterministic jittered backoff schedule for one attach key.
-
-    The jitter is derived from the trace digest, not a clock or RNG:
-    the same key always waits the same schedule, so fault-plan replays
-    and timing-sensitive tests stay exact while distinct keys still
-    spread their retries.
-    """
-    try:
-        jitter = int(digest[:8], 16)
-    except ValueError:
-        jitter = 0
-    return tuple(
-        base * (1.0 + ((jitter >> (4 * i)) & 0xF) / 32.0)
-        for i, base in enumerate(_RETRY_BACKOFF)
-    )
 
 
 def announce(manifest: Sequence[TraceSegmentInfo]) -> None:
@@ -349,11 +342,13 @@ def attach_trace(key: TraceKey) -> Optional[Tuple[Trace, str]]:
 
     An attach ENOENT can be a transient race (a warm worker attaching
     while the owner is still publishing) rather than a real teardown, so
-    it is retried up to :data:`_ATTACH_ATTEMPTS` times on a
-    deterministic jittered backoff before the fallback — each retry is
-    counted in :func:`attach_retries`, never silently absorbed.
+    it is retried under :data:`ATTACH_RETRY_POLICY` — three attempts on
+    a deterministic digest-jittered backoff, sleeping through the
+    injectable resilience clock — before the fallback.  Each retry is
+    counted in :func:`attach_retries`, never silently absorbed; an
+    injected ``segment_vanish`` gives up immediately (the owner unlinked
+    it, so no amount of waiting brings it back).
     """
-    global _ATTACH_RETRIES
     if not shm_enabled():
         return None
     info = _ANNOUNCED.get(key)
@@ -365,35 +360,46 @@ def attach_trace(key: TraceKey) -> Optional[Tuple[Trace, str]]:
     from multiprocessing.shared_memory import SharedMemory
 
     context = _envfault.CURRENT
-    delays = _retry_delays(info.digest)
-    segment = None
-    for attempt in range(_ATTACH_ATTEMPTS):
+    delays = ATTACH_RETRY_POLICY.delays(info.digest)
+
+    def _attempt() -> object:
         fault = context.fire("shm.attach") if context is not None else None
-        try:
-            if fault is not None:
-                raise FileNotFoundError(
-                    f"envfault: segment {info.segment} missing ({fault.kind})"
-                )
-            segment = SharedMemory(name=info.segment)
-            break
-        except FileNotFoundError:
-            # A vanished segment (owner unlinked it) will not come back;
-            # only the transient announce→publish race is worth retrying.
-            vanished = fault is not None and fault.kind == "segment_vanish"
-            if not vanished and attempt + 1 < _ATTACH_ATTEMPTS:
-                _ATTACH_RETRIES += 1
-                logger.debug(
-                    "segment %s missing (attempt %d/%d); retrying in %.3fs",
-                    info.segment, attempt + 1, _ATTACH_ATTEMPTS,
-                    delays[attempt],
-                )
-                time.sleep(delays[attempt])
-                continue
-            logger.debug(
-                "segment %s gone; rebuilding %s locally", info.segment, key
+        if fault is not None:
+            exc_type = (
+                _SegmentVanished
+                if fault.kind == "segment_vanish"
+                else FileNotFoundError
             )
-            del _ANNOUNCED[key]
-            return None
+            raise exc_type(
+                f"envfault: segment {info.segment} missing ({fault.kind})"
+            )
+        return SharedMemory(name=info.segment)
+
+    def _note_retry(attempt: int, exc: BaseException) -> None:
+        global _ATTACH_RETRIES
+        _ATTACH_RETRIES += 1
+        logger.debug(
+            "segment %s missing (attempt %d/%d); retrying in %.3fs",
+            info.segment, attempt, ATTACH_RETRY_POLICY.attempts,
+            delays[attempt - 1],
+        )
+
+    try:
+        segment = ATTACH_RETRY_POLICY.call(
+            _attempt,
+            key=info.digest,
+            retry_on=(FileNotFoundError,),
+            giveup=lambda exc: isinstance(exc, _SegmentVanished),
+            on_retry=_note_retry,
+        )
+    except FileNotFoundError:
+        # Out of retry budget, or the segment vanished for good (the
+        # owner unlinked it); fall back to deterministic regeneration.
+        logger.debug(
+            "segment %s gone; rebuilding %s locally", info.segment, key
+        )
+        del _ANNOUNCED[key]
+        return None
     columns: Dict[str, NDArray] = {}
     for field, dtype, offset, length in info.columns:
         array: NDArray = np.frombuffer(

@@ -1,0 +1,62 @@
+"""Supervised serving frontend for the reproduction harness.
+
+``repro serve`` keeps the expensive state batch runs rebuild per
+invocation — the warm worker pool, memoized traces, shared-memory trace
+segments — alive across requests, behind the :mod:`repro.resilience`
+policies: bounded admission with typed load shedding, per-request
+deadlines, per-scheme circuit breakers, and a pool supervisor that
+restarts crashed generations with paced backoff.  SIGTERM drains
+gracefully: in-flight work finishes, the queued remainder is journaled
+for ``--resume-drain``, and no ``/dev/shm`` residue survives.
+
+Layers (transport-free core first, so everything is unit-testable):
+
+* :mod:`repro.serve.protocol` — JSONL request/response payloads and the
+  deterministic :func:`~repro.serve.protocol.seeded_burst`;
+* :mod:`repro.serve.core` — :class:`ServerCore`, admission → dispatch →
+  breakers → supervision → drain;
+* :mod:`repro.serve.frontend` — the Unix-domain-socket transport;
+* :mod:`repro.serve.client` — socket and in-process clients.
+"""
+
+from __future__ import annotations
+
+from .client import InProcessClient, ServeClient, ServeTimeout
+from .core import (
+    DRAIN_JOURNAL_KIND,
+    ServeConfig,
+    ServerCore,
+    build_jobs,
+    execute_drained,
+    read_drained_requests,
+    results_payload,
+)
+from .frontend import ServeFrontend
+from .protocol import (
+    ControlRequest,
+    ProtocolError,
+    SimRequest,
+    parse_request,
+    request_to_payload,
+    seeded_burst,
+)
+
+__all__ = [
+    "ControlRequest",
+    "DRAIN_JOURNAL_KIND",
+    "InProcessClient",
+    "ProtocolError",
+    "ServeClient",
+    "ServeConfig",
+    "ServeFrontend",
+    "ServeTimeout",
+    "ServerCore",
+    "SimRequest",
+    "build_jobs",
+    "execute_drained",
+    "parse_request",
+    "read_drained_requests",
+    "request_to_payload",
+    "results_payload",
+    "seeded_burst",
+]

@@ -1,0 +1,185 @@
+"""Clients for the serving frontend: over the socket, or in-process.
+
+:class:`ServeClient` talks JSONL over the Unix socket — the CLI's
+``--burst`` / ``--health`` / ``--stats`` modes and the smoke script use
+it.  :class:`InProcessClient` drives a :class:`~repro.serve.core.ServerCore`
+directly with no transport at all, which is how the overload and drain
+tests assert exact accept/shed partitions without socket timing in the
+way.  Both match responses to requests by ``id`` (responses arrive in
+completion order, not submission order).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from .core import ServerCore
+from .protocol import (
+    ControlRequest,
+    SimRequest,
+    request_to_payload,
+)
+
+
+class ServeTimeout(RuntimeError):
+    """Waited past the allowed time for a response."""
+
+
+class _ResponseBook:
+    """Thread-safe id -> response store with blocking waits."""
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._responses: Dict[str, Dict[str, Any]] = {}
+        self._anonymous: List[Dict[str, Any]] = []
+
+    def put(self, response: Dict[str, Any]) -> None:
+        with self._cond:
+            request_id = response.get("id") or ""
+            if request_id:
+                self._responses[request_id] = response
+            else:
+                self._anonymous.append(response)
+            self._cond.notify_all()
+
+    def wait_for(
+        self, request_id: str, timeout: Optional[float]
+    ) -> Dict[str, Any]:
+        with self._cond:
+            if not self._cond.wait_for(
+                lambda: request_id in self._responses, timeout=timeout
+            ):
+                raise ServeTimeout(
+                    f"no response for request {request_id!r} "
+                    f"within {timeout}s"
+                )
+            return self._responses.pop(request_id)
+
+    def wait_count(self, count: int, timeout: Optional[float]) -> None:
+        with self._cond:
+            if not self._cond.wait_for(
+                lambda: len(self._responses) + len(self._anonymous) >= count,
+                timeout=timeout,
+            ):
+                have = len(self._responses) + len(self._anonymous)
+                raise ServeTimeout(
+                    f"only {have}/{count} responses within {timeout}s"
+                )
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        with self._cond:
+            return dict(self._responses)
+
+
+class ServeClient:
+    """A socket client; safe for one thread submitting, matching by id."""
+
+    def __init__(
+        self, socket_path: Union[str, Path], connect_timeout: float = 5.0
+    ) -> None:
+        self.socket_path = str(socket_path)
+        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._sock.settimeout(connect_timeout)
+        self._sock.connect(self.socket_path)
+        self._sock.settimeout(None)
+        self._book = _ResponseBook()
+        self._send_lock = threading.Lock()
+        self._sequence = 0
+        self._reader = threading.Thread(
+            target=self._read_loop, name="serve-client-reader", daemon=True
+        )
+        self._reader.start()
+
+    def _read_loop(self) -> None:
+        buffer = b""
+        while True:
+            try:
+                chunk = self._sock.recv(65536)
+            except OSError:
+                break
+            if not chunk:
+                break
+            buffer += chunk
+            while b"\n" in buffer:
+                line, buffer = buffer.split(b"\n", 1)
+                if line.strip():
+                    self._book.put(json.loads(line.decode("utf-8")))
+
+    def _send_payload(self, payload: Dict[str, Any]) -> None:
+        data = json.dumps(payload, sort_keys=True).encode("utf-8") + b"\n"
+        with self._send_lock:
+            self._sock.sendall(data)
+
+    def send(self, request: SimRequest) -> None:
+        """Fire-and-forget submit; collect later with :meth:`collect`."""
+        self._send_payload(request_to_payload(request))
+
+    def collect(
+        self, request_id: str, timeout: Optional[float] = 60.0
+    ) -> Dict[str, Any]:
+        """Block until the response for ``request_id`` arrives."""
+        return self._book.wait_for(request_id, timeout)
+
+    def roundtrip(
+        self, request: SimRequest, timeout: Optional[float] = 60.0
+    ) -> Dict[str, Any]:
+        self.send(request)
+        return self.collect(request.id, timeout)
+
+    def _control(self, op: str, timeout: Optional[float]) -> Dict[str, Any]:
+        self._sequence += 1
+        request_id = f"_ctl{self._sequence}"
+        self._send_payload({"kind": op, "id": request_id})
+        return self._book.wait_for(request_id, timeout)
+
+    def health(self, timeout: Optional[float] = 5.0) -> Dict[str, Any]:
+        return self._control("health", timeout)
+
+    def stats(self, timeout: Optional[float] = 5.0) -> Dict[str, Any]:
+        return self._control("stats", timeout)
+
+    def close(self) -> None:
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass  # peer already gone; close below still releases the fd
+        self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.close()
+
+
+class InProcessClient:
+    """Drives a :class:`ServerCore` directly (tests; no transport)."""
+
+    def __init__(self, core: ServerCore) -> None:
+        self.core = core
+        self._book = _ResponseBook()
+
+    def send(self, request: SimRequest) -> Optional[object]:
+        """Submit; returns the :class:`~repro.resilience.Rejected` if shed
+        (the shed response is still recorded for :meth:`collect`)."""
+        return self.core.submit(request, self._book.put)
+
+    def control(self, op: str) -> Dict[str, Any]:
+        return self.core.control(ControlRequest(id=f"_{op}", op=op))
+
+    def collect(
+        self, request_id: str, timeout: Optional[float] = 60.0
+    ) -> Dict[str, Any]:
+        return self._book.wait_for(request_id, timeout)
+
+    def wait_all(self, count: int, timeout: Optional[float] = 120.0) -> None:
+        """Block until ``count`` responses (of any status) arrived."""
+        self._book.wait_count(count, timeout)
+
+    def responses(self) -> Dict[str, Dict[str, Any]]:
+        """Snapshot of uncollected responses by request id."""
+        return self._book.snapshot()

@@ -1,0 +1,195 @@
+"""Unix-domain-socket frontend: JSONL transport over a ServerCore.
+
+``repro serve --socket PATH`` binds a ``SOCK_STREAM`` Unix socket and
+speaks one JSON object per line in each direction.  Clients may pipeline
+any number of requests on one connection; responses carry the request
+``id`` and arrive in completion order (sheds immediately, results as
+the dispatcher finishes), so clients match by id, not by position.
+
+The accept loop and every per-connection reader poll the shared
+:class:`~repro.durability.StopToken`, so a SIGTERM routed through
+:func:`~repro.durability.graceful_shutdown` turns into a graceful drain:
+admission closes, queued requests are journaled (each open connection
+receives its ``journaled`` responses before the socket closes), the
+in-flight request finishes, the warm pool and every owned shm segment
+are released, and the socket path is unlinked.  The CLI maps a drain
+that journaled work onto exit code 75 (resumable), mirroring the
+``--resume`` contract of batch runs.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import socket
+import threading
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from ..durability import StopToken
+from .core import ServerCore
+from .protocol import ControlRequest, ProtocolError, parse_request
+
+logger = logging.getLogger(__name__)
+
+#: Accept/read poll interval (seconds) — how fast a stop is noticed.
+_POLL_S = 0.2
+
+
+class _Connection:
+    """One accepted client socket: a reader thread plus a locked writer."""
+
+    def __init__(self, sock: socket.socket, core: ServerCore) -> None:
+        self.sock = sock
+        self.core = core
+        self._write_lock = threading.Lock()
+        self._closed = False
+
+    def send(self, response: Dict[str, Any]) -> None:
+        """Serialize one response line (drops it if the peer vanished)."""
+        data = json.dumps(response, sort_keys=True).encode("utf-8") + b"\n"
+        with self._write_lock:
+            if self._closed:
+                return
+            try:
+                self.sock.sendall(data)
+            except OSError as exc:
+                self._closed = True
+                logger.debug("client went away mid-response: %s", exc)
+
+    def serve(self, stop: StopToken) -> None:
+        """Read request lines until EOF or stop; submit each to the core."""
+        buffer = b""
+        self.sock.settimeout(_POLL_S)
+        while not stop.check():
+            try:
+                chunk: Optional[bytes] = self.sock.recv(65536)
+            except socket.timeout:
+                chunk = None  # poll tick: re-check the stop token
+            except OSError as exc:
+                logger.debug("client read failed: %s", exc)
+                break
+            if chunk is None:
+                continue
+            if not chunk:
+                break
+            buffer += chunk
+            while b"\n" in buffer:
+                line, buffer = buffer.split(b"\n", 1)
+                if line.strip():
+                    self._handle_line(line)
+        # The socket is deliberately not closed here: journaled responses
+        # for this connection's queued requests may still arrive during
+        # the drain.  The frontend closes every connection at shutdown.
+
+    def _handle_line(self, line: bytes) -> None:
+        try:
+            payload = json.loads(line.decode("utf-8"))
+        except ValueError as exc:
+            self.send(
+                {
+                    "id": "",
+                    "status": "error",
+                    "error_type": "ProtocolError",
+                    "message": f"unparseable request line: {exc}",
+                }
+            )
+            return
+        try:
+            request = parse_request(payload)
+        except ProtocolError as exc:
+            request_id = ""
+            if isinstance(payload, dict) and isinstance(payload.get("id"), str):
+                request_id = payload["id"]
+            self.send(
+                {
+                    "id": request_id,
+                    "status": "error",
+                    "error_type": "ProtocolError",
+                    "message": str(exc),
+                }
+            )
+            return
+        if isinstance(request, ControlRequest):
+            self.send(self.core.control(request))
+            return
+        self.core.submit(request, self.send)
+
+    def close(self) -> None:
+        with self._write_lock:
+            self._closed = True
+        try:
+            self.sock.close()
+        except OSError:  # pragma: no cover - double close
+            logger.debug("connection close raced the peer")
+
+
+class ServeFrontend:
+    """Bind, accept, serve, drain — the lifetime of one ``repro serve``."""
+
+    def __init__(
+        self,
+        socket_path: Union[str, Path],
+        core: ServerCore,
+        drain_journal: Union[str, Path],
+    ) -> None:
+        self.socket_path = Path(socket_path)
+        self.core = core
+        self.drain_journal = Path(drain_journal)
+        self._connections: List[_Connection] = []
+        self._conn_lock = threading.Lock()
+        self._threads: List[threading.Thread] = []
+
+    def run(self, stop: StopToken) -> int:
+        """Serve until ``stop`` trips; returns the journaled-request count."""
+        listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        if self.socket_path.exists():
+            self.socket_path.unlink()
+        listener.bind(str(self.socket_path))
+        listener.listen(16)
+        listener.settimeout(_POLL_S)
+        self.core.start()
+        logger.info("serving on %s", self.socket_path)
+        try:
+            while not stop.check():
+                try:
+                    sock: Optional[socket.socket] = listener.accept()[0]
+                except socket.timeout:
+                    sock = None  # poll tick: re-check the stop token
+                except OSError as exc:  # pragma: no cover - listener torn
+                    logger.warning("accept failed: %s", exc)
+                    break
+                if sock is None:
+                    continue
+                connection = _Connection(sock, self.core)
+                with self._conn_lock:
+                    self._connections.append(connection)
+                thread = threading.Thread(
+                    target=connection.serve,
+                    args=(stop,),
+                    name="serve-conn",
+                    daemon=True,
+                )
+                thread.start()
+                self._threads.append(thread)
+        finally:
+            listener.close()
+            journaled = self.core.drain(self.drain_journal)
+            for thread in self._threads:
+                thread.join(timeout=_POLL_S * 4)
+            with self._conn_lock:
+                for connection in self._connections:
+                    connection.close()
+                self._connections.clear()
+            if self.socket_path.exists():
+                try:
+                    os.unlink(str(self.socket_path))
+                except OSError as exc:
+                    logger.warning(
+                        "could not unlink %s: %s", self.socket_path, exc
+                    )
+            logger.info(
+                "server stopped: %s", stop.reason or "listener closed"
+            )
+        return journaled

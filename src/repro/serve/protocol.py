@@ -1,0 +1,236 @@
+"""Wire protocol for the serving frontend: JSONL requests and responses.
+
+One request or response per line, each a single JSON object.  The same
+payload shapes travel over the Unix-domain socket (``repro serve``) and
+through the in-process client used by tests, and the *request* payloads
+double as the drain-journal records — a request journaled at SIGTERM is
+re-parsed by :func:`parse_request` bit-for-bit.
+
+Request kinds:
+
+* ``simulate`` — run one :class:`~repro.analysis.runner.SimSpec` over
+  one or more benchmarks (:class:`SimRequest`).  A single benchmark
+  runs serially in-process; several benchmarks form a sweep that rides
+  the warm worker pool.
+* ``health`` / ``stats`` — control queries (:class:`ControlRequest`),
+  answered immediately, never queued or shed.
+
+Response statuses: ``ok`` (results keyed by benchmark, each a
+``sim_result`` payload from
+:func:`~repro.analysis.serialize.simulation_result_to_payload`),
+``shed`` (typed admission rejection — queue full, breaker open,
+deadline, draining), ``error`` (execution failed), and ``journaled``
+(the server drained before dispatch; re-run via
+``repro serve --resume-drain``).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+PROTOCOL_VERSION = 1
+"""Serving protocol version, echoed in every response."""
+
+
+class ProtocolError(ValueError):
+    """A request payload that does not parse into a known request."""
+
+
+@dataclass(frozen=True)
+class SimRequest:
+    """One simulation request: a scheme over one or more benchmarks.
+
+    ``benchmarks`` with a single entry runs serially in the dispatcher
+    (the runner's reference path); multiple entries fan out on the warm
+    pool.  ``deadline_s`` is a per-request budget measured from
+    admission — an expired budget sheds at dispatch instead of running.
+    """
+
+    id: str
+    benchmarks: Tuple[str, ...]
+    scheme: Optional[str] = None
+    num_ops: int = 2000
+    seed: int = 1
+    warmup: float = 0.3
+    deadline_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.id:
+            raise ProtocolError("request id must be non-empty")
+        if not self.benchmarks:
+            raise ProtocolError(f"request {self.id}: no benchmarks")
+        if self.num_ops < 1:
+            raise ProtocolError(f"request {self.id}: num_ops must be >= 1")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ProtocolError(
+                f"request {self.id}: deadline_s must be positive"
+            )
+
+
+@dataclass(frozen=True)
+class ControlRequest:
+    """A control-plane query: answered inline, never admitted or shed."""
+
+    id: str
+    op: str
+
+    OPS = ("health", "stats")
+
+    def __post_init__(self) -> None:
+        if self.op not in self.OPS:
+            raise ProtocolError(f"unknown control op {self.op!r}")
+
+
+Request = Union[SimRequest, ControlRequest]
+
+
+def parse_request(payload: Dict[str, Any]) -> Request:
+    """Parse one request payload; raises :class:`ProtocolError` if bad."""
+    if not isinstance(payload, dict):
+        raise ProtocolError(f"request must be an object, got {type(payload)}")
+    kind = payload.get("kind", "simulate")
+    request_id = payload.get("id")
+    if not isinstance(request_id, str) or not request_id:
+        raise ProtocolError("request needs a non-empty string 'id'")
+    if kind in ControlRequest.OPS:
+        return ControlRequest(id=request_id, op=kind)
+    if kind != "simulate":
+        raise ProtocolError(f"unknown request kind {kind!r}")
+    benchmarks = payload.get("benchmarks")
+    if isinstance(benchmarks, str):
+        benchmarks = [benchmarks]
+    if not isinstance(benchmarks, (list, tuple)):
+        raise ProtocolError(f"request {request_id}: 'benchmarks' must be a list")
+    try:
+        return SimRequest(
+            id=request_id,
+            benchmarks=tuple(str(b) for b in benchmarks),
+            scheme=payload.get("scheme"),
+            num_ops=int(payload.get("num_ops", 2000)),
+            seed=int(payload.get("seed", 1)),
+            warmup=float(payload.get("warmup", 0.3)),
+            deadline_s=(
+                None
+                if payload.get("deadline_s") is None
+                else float(payload["deadline_s"])
+            ),
+        )
+    except (TypeError, ValueError) as exc:
+        if isinstance(exc, ProtocolError):
+            raise
+        raise ProtocolError(f"request {request_id}: {exc}") from exc
+
+
+def request_to_payload(request: SimRequest) -> Dict[str, Any]:
+    """Encode a :class:`SimRequest` so :func:`parse_request` inverts it."""
+    payload: Dict[str, Any] = {
+        "kind": "simulate",
+        "id": request.id,
+        "benchmarks": list(request.benchmarks),
+        "num_ops": request.num_ops,
+        "seed": request.seed,
+        "warmup": request.warmup,
+    }
+    if request.scheme is not None:
+        payload["scheme"] = request.scheme
+    if request.deadline_s is not None:
+        payload["deadline_s"] = request.deadline_s
+    return payload
+
+
+# --- responses --------------------------------------------------------------
+
+
+def _base(request_id: str, status: str) -> Dict[str, Any]:
+    return {"v": PROTOCOL_VERSION, "id": request_id, "status": status}
+
+
+def ok_response(
+    request_id: str, results: Dict[str, Dict[str, Any]]
+) -> Dict[str, Any]:
+    """A completed request: ``results`` maps benchmark -> result payload."""
+    response = _base(request_id, "ok")
+    response["results"] = results
+    return response
+
+
+def shed_response(
+    request_id: str, reason: str, detail: str = ""
+) -> Dict[str, Any]:
+    """A typed load-shed: the request was rejected, not attempted."""
+    response = _base(request_id, "shed")
+    response["reason"] = reason
+    if detail:
+        response["detail"] = detail
+    return response
+
+
+def error_response(
+    request_id: str, error_type: str, message: str
+) -> Dict[str, Any]:
+    """The request was attempted and failed."""
+    response = _base(request_id, "error")
+    response["error_type"] = error_type
+    response["message"] = message
+    return response
+
+
+def journaled_response(request_id: str, journal: str) -> Dict[str, Any]:
+    """The server drained before dispatch; the request is resumable."""
+    response = _base(request_id, "journaled")
+    response["journal"] = journal
+    return response
+
+
+def control_response(
+    request_id: str, body: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Answer to a :class:`ControlRequest` (health/stats)."""
+    response = _base(request_id, "ok")
+    response.update(body)
+    return response
+
+
+# --- seeded bursts ----------------------------------------------------------
+
+#: Benchmarks the seeded burst draws from (a stable, fast subset).
+BURST_BENCHMARKS = ("mcf", "lbm", "milc", "bzip2", "hmmer", "sjeng")
+
+#: Schemes the seeded burst draws from (``None`` = insecure baseline).
+BURST_SCHEMES = (None, "cobcm", "nogap", "obcm")
+
+
+def seeded_burst(
+    seed: int,
+    count: int,
+    num_ops: int = 400,
+    deadline_s: Optional[float] = None,
+) -> List[SimRequest]:
+    """A deterministic mixed burst: ``seed`` fully determines the list.
+
+    Roughly a third of the requests are multi-benchmark sweeps (the
+    warm-pool path); the rest are single-benchmark simulate requests.
+    Request ids are ``r0000``, ``r0001``, ... so accept/shed partitions
+    are easy to diff across runs.
+    """
+    rng = random.Random(seed)
+    requests: List[SimRequest] = []
+    for index in range(count):
+        if rng.random() < 0.34:
+            width = rng.randint(2, 3)
+            benchmarks = tuple(rng.sample(BURST_BENCHMARKS, width))
+        else:
+            benchmarks = (rng.choice(BURST_BENCHMARKS),)
+        requests.append(
+            SimRequest(
+                id=f"r{index:04d}",
+                benchmarks=benchmarks,
+                scheme=rng.choice(BURST_SCHEMES),
+                num_ops=num_ops,
+                seed=1 + rng.randint(0, 3),
+                deadline_s=deadline_s,
+            )
+        )
+    return requests

@@ -970,6 +970,118 @@ def test_findings_sorted_deterministically():
     assert [f.line for f in findings] == sorted(f.line for f in findings)
 
 
+# --- SPB505: resilience hygiene --------------------------------------------
+
+
+def lint_runtime_fixture(source: str, **kwargs):
+    """Lint a snippet as generic harness code (runner/serve territory)."""
+    return lint_source(
+        textwrap.dedent(source),
+        "fixture.py",
+        module="repro.analysis.fixture",
+        **kwargs,
+    )
+
+
+def test_spb505_raw_time_sleep():
+    findings = lint_runtime_fixture(
+        """
+        import time
+
+        def backoff():
+            time.sleep(0.5)
+        """
+    )
+    assert codes(findings) == ["SPB505"]
+
+
+def test_spb505_from_import_sleep():
+    findings = lint_runtime_fixture(
+        """
+        from time import sleep
+
+        def backoff():
+            sleep(0.5)
+        """
+    )
+    assert codes(findings) == ["SPB505"]
+
+
+def test_spb505_hand_rolled_retry_loop():
+    findings = lint_runtime_fixture(
+        """
+        def attach(fn):
+            while True:
+                try:
+                    return fn()
+                except FileNotFoundError:
+                    continue
+        """
+    )
+    assert codes(findings) == ["SPB505"]
+
+
+def test_spb505_nested_loop_continue_not_flagged():
+    # The continue belongs to the inner for-loop, not the retry shape.
+    findings = lint_runtime_fixture(
+        """
+        def harvest(futures):
+            while futures:
+                try:
+                    futures[0].result()
+                except ValueError:
+                    for f in futures:
+                        if f.done():
+                            continue
+                    futures.pop(0)
+        """
+    )
+    assert codes(findings) == []
+
+
+def test_spb505_reraising_handler_not_flagged():
+    findings = lint_runtime_fixture(
+        """
+        def pump(queue):
+            while True:
+                try:
+                    queue.get()
+                except KeyboardInterrupt:
+                    raise
+        """
+    )
+    assert codes(findings) == []
+
+
+def test_spb505_clock_sleep_sanctioned():
+    # Sleeping through the injectable clock is the sanctioned form.
+    findings = lint_runtime_fixture(
+        """
+        from repro.resilience import get_clock
+
+        def backoff():
+            get_clock().sleep(0.5)
+        """
+    )
+    assert codes(findings) == []
+
+
+def test_spb505_exempt_inside_resilience_package():
+    findings = lint_source(
+        textwrap.dedent(
+            """
+            import time
+
+            def sleep_for(seconds):
+                time.sleep(seconds)
+            """
+        ),
+        "fixture.py",
+        module="repro.resilience.clock",
+    )
+    assert codes(findings) == []
+
+
 # --- SPB502: artifact I/O must be atomic -----------------------------------
 
 

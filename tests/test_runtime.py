@@ -244,9 +244,10 @@ class TestAttachRetry:
             info = registry.publish(self.KEY, trace, trace_digest(trace))
             announce([info])
             before = shm.attach_retries()
-            with injected(self._plan("attach_enoent", count=shm._ATTACH_ATTEMPTS)):
+            budget = shm.ATTACH_RETRY_POLICY.attempts
+            with injected(self._plan("attach_enoent", count=budget)):
                 assert attach_trace(self.KEY) is None
-            assert shm.attach_retries() - before == shm._ATTACH_ATTEMPTS - 1
+            assert shm.attach_retries() - before == budget - 1
             assert self.KEY not in announced_keys()
         finally:
             reset_attachments()
@@ -273,13 +274,33 @@ class TestAttachRetry:
 
     def test_retry_delays_deterministic_and_bounded(self):
         digest = "deadbeef" + "0" * 56
-        first = shm._retry_delays(digest)
-        assert first == shm._retry_delays(digest)
-        assert len(first) == len(shm._RETRY_BACKOFF)
-        for delay, base in zip(first, shm._RETRY_BACKOFF):
+        policy = shm.ATTACH_RETRY_POLICY
+        first = policy.delays(digest)
+        assert first == policy.delays(digest)
+        assert len(first) == policy.attempts - 1
+        # The policy's exponential schedule reproduces the plane's
+        # historical (0.005, 0.02) base tuple exactly, jittered by the
+        # digest nibbles within [1, 1 + 15/32).
+        for delay, base in zip(first, (0.005, 0.02)):
             assert base <= delay <= base * 1.5
-        # A non-hex digest degrades to the unjittered base schedule.
-        assert shm._retry_delays("not-hex!") == shm._RETRY_BACKOFF
+        # A non-hex digest hashes to a token: still deterministic,
+        # still bounded by the same jitter envelope.
+        fallback = policy.delays("not-hex!")
+        assert fallback == policy.delays("not-hex!")
+        for delay, base in zip(fallback, (0.005, 0.02)):
+            assert base <= delay <= base * 1.5
+
+    def test_attach_schedule_matches_pre_migration_backoff(self):
+        # Golden check for the resilience migration: for any hex digest
+        # the policy's schedule must equal the hand-rolled formula the
+        # plane used before (base * (1 + nibble/32)).
+        for digest in ("deadbeef" + "0" * 56, "00" * 32, "f" * 64):
+            token = int(digest[:8], 16)
+            expected = tuple(
+                base * (1.0 + ((token >> (4 * i)) & 0xF) / 32.0)
+                for i, base in enumerate((0.005, 0.02))
+            )
+            assert shm.ATTACH_RETRY_POLICY.delays(digest) == expected
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,191 @@
+#!/bin/sh
+# serve-smoke: the CI gate for the serving frontend (ISSUE 10).
+#
+# Exercises the full `repro serve` lifecycle end to end:
+#   1. a real server on a Unix socket answers health/stats and a seeded
+#      burst whose every result must be byte-identical to running the
+#      same jobs directly through run_jobs;
+#   2. SIGTERM mid-burst drains gracefully — in-flight work finishes,
+#      the queued remainder is journaled, the server exits 75, zero
+#      /dev/shm trace-segment residue survives, and --resume-drain
+#      replays the journal;
+#   3. an in-process overload + breaker pass asserts the deterministic
+#      accept/shed partition of an undersized queue and a full breaker
+#      closed -> open -> half-open -> closed cycle under an injected
+#      worker-SIGKILL storm (on a ManualClock, so no real cooldown).
+#
+# Usage: tools/serve_smoke.sh  (from the repo root; needs PYTHONPATH=src)
+set -eu
+
+PYTHON="${PYTHON:-python}"
+WORK="$(mktemp -d)"
+SOCK="$WORK/serve.sock"
+trap 'rm -rf "$WORK"' EXIT
+
+echo "serve-smoke: starting server on $SOCK"
+$PYTHON -m repro serve --socket "$SOCK" --workers 2 --queue-depth 32 \
+    --drain-journal "$WORK/drain.jsonl" &
+SRV=$!
+
+$PYTHON - "$SOCK" <<'EOF'
+import os, sys, time
+sock = sys.argv[1]
+deadline = time.monotonic() + 60
+while not os.path.exists(sock):
+    assert time.monotonic() < deadline, "serve socket never appeared"
+    time.sleep(0.05)
+EOF
+
+echo "serve-smoke: health, seeded burst, stats over the socket"
+$PYTHON -m repro serve --socket "$SOCK" --health > /dev/null
+$PYTHON -m repro serve --socket "$SOCK" --burst 12 --num-ops 300 \
+    --save "$WORK/burst.json"
+$PYTHON -m repro serve --socket "$SOCK" --stats > "$WORK/stats.json"
+
+echo "serve-smoke: served results byte-identical to direct run_jobs"
+$PYTHON - "$WORK/burst.json" <<'EOF'
+import json, sys
+from repro.analysis.runner import run_jobs
+from repro.serve import build_jobs, results_payload, seeded_burst
+
+responses = json.loads(open(sys.argv[1]).read())
+requests = {r.id: r for r in seeded_burst(2023, 12, num_ops=300)}
+assert set(responses) == set(requests), "burst responses incomplete"
+for rid in sorted(responses):
+    response = responses[rid]
+    assert response["status"] == "ok", (rid, response)
+    jobs = build_jobs(requests[rid])
+    reference = results_payload(jobs, run_jobs(
+        jobs, workers=2 if len(jobs) > 1 else 1, on_error="raise", retries=0,
+    ))
+    served = json.dumps(response["results"], sort_keys=True)
+    direct = json.dumps(reference, sort_keys=True)
+    assert served == direct, f"{rid}: served results diverged from run_jobs"
+print(f"  {len(responses)} request(s) byte-identical")
+EOF
+
+echo "serve-smoke: SIGTERM mid-burst -> graceful drain, exit 75"
+$PYTHON -m repro serve --socket "$SOCK" --burst 12 --num-ops 120000 \
+    --seed 7 --timeout 300 > "$WORK/drainburst.txt" &
+CLI=$!
+# Pull the plug once the queue is demonstrably deep.
+$PYTHON - "$SOCK" <<'EOF'
+import sys, time
+from repro.serve import ServeClient
+deadline = time.monotonic() + 60
+with ServeClient(sys.argv[1]) as client:
+    while True:
+        stats = client.stats()["stats"]
+        if stats["queue_depth"] >= 4:
+            break
+        assert time.monotonic() < deadline, f"queue never filled: {stats}"
+        time.sleep(0.05)
+EOF
+kill -TERM "$SRV"
+wait "$CLI"
+SRV_RC=0
+wait "$SRV" || SRV_RC=$?
+[ "$SRV_RC" -eq 75 ] || {
+    echo "serve-smoke: FAIL - drained server exited $SRV_RC, wanted 75" >&2
+    exit 1
+}
+grep -q "journaled" "$WORK/drainburst.txt" || {
+    echo "serve-smoke: FAIL - no journaled responses in the drain burst" >&2
+    exit 1
+}
+
+echo "serve-smoke: drain journal replays; zero /dev/shm residue"
+$PYTHON -m repro serve --resume-drain "$WORK/drain.jsonl" --workers 2 \
+    --save "$WORK/resumed.json" > "$WORK/resume.txt"
+$PYTHON - "$WORK" <<'EOF'
+import glob, json, sys
+from pathlib import Path
+from repro.runtime.shm import segment_prefix
+from repro.serve import read_drained_requests
+
+work = Path(sys.argv[1])
+requests = read_drained_requests(work / "drain.jsonl")
+assert requests, "drain journal is empty"
+resumed = json.loads((work / "resumed.json").read_text())
+assert list(resumed) == [r.id for r in requests], "resume missed requests"
+summary = (work / "resume.txt").read_text()
+assert f"resumed {len(requests)} drained request(s)" in summary, summary
+residue = glob.glob(f"/dev/shm/{segment_prefix()}*")
+assert not residue, f"leaked trace segments: {residue}"
+print(f"  {len(requests)} journaled request(s) replayed")
+EOF
+
+echo "serve-smoke: in-process overload partition + breaker cycle"
+$PYTHON - <<'EOF'
+from repro.envfault import FaultPlan, FaultSpec, injected
+from repro.resilience import (
+    CLOSED, HALF_OPEN, OPEN, BreakerPolicy, ManualClock, RetryPolicy,
+)
+from repro.runtime.pool import shutdown_shared_pool
+from repro.serve import (
+    InProcessClient, ServeConfig, ServerCore, SimRequest, seeded_burst,
+)
+
+# Deterministic accept/shed partition: an undersized queue against a
+# 100+ request burst admits exactly the prefix, twice over.
+partitions = []
+for _ in range(2):
+    core = ServerCore(ServeConfig(queue_depth=8))
+    client = InProcessClient(core)
+    accepted = [
+        r.id for r in seeded_burst(2023, 100, num_ops=250)
+        if client.send(r) is None
+    ]
+    partitions.append(tuple(accepted))
+assert partitions[0] == partitions[1] == tuple(
+    f"r{i:04d}" for i in range(8)
+), partitions
+print("  partition deterministic: 8 accepted / 92 shed, twice")
+
+# Breaker cycle under an injected worker-SIGKILL storm.
+clock = ManualClock()
+core = ServerCore(
+    ServeConfig(
+        workers=2, queue_depth=16, retries=0,
+        breaker=BreakerPolicy(window=4, failure_rate=0.5, min_calls=2,
+                              open_seconds=30.0),
+        restart_backoff=RetryPolicy(attempts=3, base_delay=0.05,
+                                    multiplier=4.0, jitter_frac=0.0),
+    ),
+    clock=clock,
+)
+core.start()
+client = InProcessClient(core)
+
+def sweep(rid):
+    return SimRequest(id=rid, benchmarks=("mcf", "lbm"), scheme="cobcm",
+                      num_ops=200)
+
+shutdown_shared_pool(wait=False)
+plan = FaultPlan(seed=0, specs=(
+    FaultSpec(op="worker.task", index=0, kind="worker_sigkill", count=64),
+))
+try:
+    with injected(plan):
+        for rid in ("kill1", "kill2"):
+            client.send(sweep(rid))
+            assert client.collect(rid, timeout=120.0)["status"] == "error"
+        breaker = core.breaker_for("cobcm")
+        assert breaker.state == OPEN, breaker.state
+        client.send(sweep("shedme"))
+        shed = client.collect("shedme", timeout=30.0)
+        assert shed["status"] == "shed" and shed["reason"] == "breaker_open"
+finally:
+    shutdown_shared_pool(wait=False)
+clock.advance(31.0)
+client.send(sweep("probe"))
+assert client.collect("probe", timeout=120.0)["status"] == "ok"
+breaker = core.breaker_for("cobcm")
+assert breaker.transitions == [
+    (CLOSED, OPEN), (OPEN, HALF_OPEN), (HALF_OPEN, CLOSED),
+], breaker.transitions
+core.stop()
+print("  breaker: closed -> open -> half-open -> closed under sigkill storm")
+EOF
+
+echo "serve-smoke: OK (burst byte-identical, drain resumable, breaker cycled)"
